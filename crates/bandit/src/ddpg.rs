@@ -1,0 +1,333 @@
+//! The DDPG benchmark of §6.5.
+//!
+//! The paper adapts vrAIn's deep deterministic policy gradient to the
+//! contextual-bandit setting: the critic "instead of approximating the Q
+//! function … learns a new cost function referred to as DDPG cost", which
+//! "takes the value of (1) when all the constraints in (2) are satisfied,
+//! and the maximum cost value otherwise"; the actor gets "a sigmoid
+//! function for the actor's output" so actions land in the unit box.
+//!
+//! Because the problem is a contextual bandit (no state transitions), the
+//! critic is trained by plain regression on the observed DDPG cost — no
+//! bootstrapping and hence no target networks. The actor follows the
+//! deterministic policy gradient `∇_θ J = ∇_a Q(s, a)|_{a=π(s)} ∇_θ π(s)`
+//! computed exactly by `edgebol-nn`'s input gradients.
+
+use crate::api::{Constraints, Feedback};
+use edgebol_nn::{Activation, Adam, Mlp, ReplayBuffer};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// One stored interaction.
+#[derive(Debug, Clone)]
+struct Transition {
+    ctx: Vec<f64>,
+    action: Vec<f64>,
+    ddpg_cost: f64,
+}
+
+/// DDPG hyperparameters (tuned the way §6.5 describes: "optimized all the
+/// hyper-parameters (such as the decay) to minimize convergence time").
+#[derive(Debug, Clone)]
+pub struct DdpgConfig {
+    /// Hidden widths of both networks.
+    pub hidden: [usize; 2],
+    /// Actor learning rate.
+    pub actor_lr: f64,
+    /// Critic learning rate.
+    pub critic_lr: f64,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Replay capacity.
+    pub replay: usize,
+    /// Initial exploration noise std (action units).
+    pub noise_std0: f64,
+    /// Multiplicative per-step noise decay.
+    pub noise_decay: f64,
+    /// Exploration noise floor.
+    pub noise_min: f64,
+    /// Gradient updates per environment step.
+    pub updates_per_step: usize,
+    /// Context dimensionality.
+    pub context_dims: usize,
+    /// Action dimensionality.
+    pub action_dims: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DdpgConfig {
+    fn default() -> Self {
+        DdpgConfig {
+            hidden: [64, 64],
+            actor_lr: 2e-3,
+            critic_lr: 4e-3,
+            batch: 64,
+            replay: 20_000,
+            noise_std0: 0.35,
+            noise_decay: 0.9985,
+            noise_min: 0.03,
+            updates_per_step: 2,
+            context_dims: 3,
+            action_dims: 4,
+            seed: 0xDD96,
+        }
+    }
+}
+
+/// The DDPG agent. Selects *continuous* actions in `[0,1]^4`.
+pub struct Ddpg {
+    cfg: DdpgConfig,
+    constraints: Constraints,
+    actor: Mlp,
+    critic: Mlp,
+    opt_actor: Adam,
+    opt_critic: Adam,
+    replay: ReplayBuffer<Transition>,
+    noise_std: f64,
+    /// Running maximum observed cost: the "maximum cost value" charged on
+    /// violations.
+    max_cost_seen: f64,
+    /// Running mean/std of the DDPG cost for critic target normalization.
+    cost_mean: f64,
+    cost_m2: f64,
+    cost_n: u64,
+    rng: SmallRng,
+}
+
+impl Ddpg {
+    /// Creates the agent.
+    pub fn new(cfg: DdpgConfig, constraints: Constraints) -> Self {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let actor = Mlp::new(
+            &[cfg.context_dims, cfg.hidden[0], cfg.hidden[1], cfg.action_dims],
+            Activation::Relu,
+            Activation::Sigmoid,
+            &mut rng,
+        );
+        let critic = Mlp::new(
+            &[cfg.context_dims + cfg.action_dims, cfg.hidden[0], cfg.hidden[1], 1],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng,
+        );
+        let opt_actor = Adam::new(actor.param_count(), cfg.actor_lr);
+        let opt_critic = Adam::new(critic.param_count(), cfg.critic_lr);
+        let replay = ReplayBuffer::new(cfg.replay);
+        let noise_std = cfg.noise_std0;
+        Ddpg {
+            cfg,
+            constraints,
+            actor,
+            critic,
+            opt_actor,
+            opt_critic,
+            replay,
+            noise_std,
+            max_cost_seen: 1.0,
+            cost_mean: 0.0,
+            cost_m2: 0.0,
+            cost_n: 0,
+            rng,
+        }
+    }
+
+    /// Updates the constraint setting (the Fig. 14 change events). Unlike
+    /// EdgeBOL's non-parametric safe set, the parametric critic has to
+    /// re-learn the penalized landscape — the effect Fig. 14 demonstrates.
+    pub fn set_constraints(&mut self, constraints: Constraints) {
+        self.constraints = constraints;
+    }
+
+    /// Current exploration noise std.
+    pub fn noise_std(&self) -> f64 {
+        self.noise_std
+    }
+
+    /// Selects an action for the context: actor output plus clamped
+    /// Gaussian exploration noise.
+    pub fn select_action(&mut self, context: &[f64]) -> Vec<f64> {
+        assert_eq!(context.len(), self.cfg.context_dims, "context dimensionality");
+        let mut a = self.actor.forward(context);
+        for v in &mut a {
+            *v = (*v + edgebol_linalg::stats::normal(&mut self.rng, 0.0, self.noise_std))
+                .clamp(0.0, 1.0);
+        }
+        a
+    }
+
+    /// Greedy (noise-free) action, for evaluation.
+    pub fn greedy_action(&self, context: &[f64]) -> Vec<f64> {
+        self.actor.forward(context)
+    }
+
+    /// The DDPG cost of an outcome: eq. (1) when feasible, the maximum
+    /// cost value otherwise.
+    fn ddpg_cost(&mut self, fb: &Feedback) -> f64 {
+        self.max_cost_seen = self.max_cost_seen.max(fb.cost);
+        if self.constraints.satisfied(fb.delay_s, fb.map) {
+            fb.cost
+        } else {
+            self.max_cost_seen
+        }
+    }
+
+    /// Normalizes a cost with the running statistics.
+    fn norm_cost(&self, c: f64) -> f64 {
+        let std = if self.cost_n > 1 {
+            (self.cost_m2 / self.cost_n as f64).sqrt().max(1e-6)
+        } else {
+            1.0
+        };
+        (c - self.cost_mean) / std
+    }
+
+    /// Records the outcome and performs gradient updates.
+    pub fn update(&mut self, context: &[f64], action: &[f64], feedback: &Feedback) {
+        let c = self.ddpg_cost(feedback);
+        // Welford update of the cost statistics.
+        self.cost_n += 1;
+        let delta = c - self.cost_mean;
+        self.cost_mean += delta / self.cost_n as f64;
+        self.cost_m2 += delta * (c - self.cost_mean);
+
+        self.replay.push(Transition {
+            ctx: context.to_vec(),
+            action: action.to_vec(),
+            ddpg_cost: c,
+        });
+        self.noise_std = (self.noise_std * self.cfg.noise_decay).max(self.cfg.noise_min);
+
+        if self.replay.len() < self.cfg.batch {
+            return;
+        }
+        for _ in 0..self.cfg.updates_per_step {
+            self.train_step();
+        }
+    }
+
+    /// One critic regression + actor policy-gradient step on a minibatch.
+    fn train_step(&mut self) {
+        let batch = self.replay.sample(&mut self.rng, self.cfg.batch);
+        let b = batch.len() as f64;
+
+        // Critic: MSE to the normalized DDPG cost.
+        let mut critic_grads = vec![0.0; self.critic.param_count()];
+        for tr in &batch {
+            let mut input = tr.ctx.clone();
+            input.extend_from_slice(&tr.action);
+            let (out, cache) = self.critic.forward_train(&input);
+            let err = out[0] - self.norm_cost(tr.ddpg_cost);
+            let (g, _) = self.critic.backward(&cache, &[2.0 * err / b]);
+            for (acc, gv) in critic_grads.iter_mut().zip(&g) {
+                *acc += gv;
+            }
+        }
+        self.opt_critic.step(self.critic.params_mut(), &critic_grads);
+
+        // Actor: descend d Q / d theta = dQ/da * da/dtheta (minimize cost).
+        let mut actor_grads = vec![0.0; self.actor.param_count()];
+        for tr in &batch {
+            let (a, a_cache) = self.actor.forward_train(&tr.ctx);
+            let mut input = tr.ctx.clone();
+            input.extend_from_slice(&a);
+            let (_, c_cache) = self.critic.forward_train(&input);
+            let (_, dinput) = self.critic.backward(&c_cache, &[1.0 / b]);
+            let da = &dinput[self.cfg.context_dims..];
+            let (g, _) = self.actor.backward(&a_cache, da);
+            for (acc, gv) in actor_grads.iter_mut().zip(&g) {
+                *acc += gv;
+            }
+        }
+        self.opt_actor.step(self.actor.params_mut(), &actor_grads);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quadratic toy: cost minimized at action (0.3, 0.7, ...), always
+    /// feasible. DDPG should steer its greedy action toward the optimum.
+    #[test]
+    fn learns_a_static_optimum() {
+        let cfg = DdpgConfig { context_dims: 2, action_dims: 2, ..Default::default() };
+        let constraints = Constraints { d_max: 1e9, rho_min: -1.0 };
+        let mut agent = Ddpg::new(cfg, constraints);
+        let ctx = [0.5, 0.5];
+        let target = [0.3, 0.7];
+        for _ in 0..800 {
+            let a = agent.select_action(&ctx);
+            let cost: f64 =
+                a.iter().zip(&target).map(|(ai, ti)| (ai - ti) * (ai - ti)).sum::<f64>() * 100.0;
+            agent.update(&ctx, &a, &Feedback { cost, delay_s: 0.0, map: 1.0 });
+        }
+        let greedy = agent.greedy_action(&ctx);
+        let err: f64 =
+            greedy.iter().zip(&target).map(|(a, t)| (a - t).abs()).fold(0.0, f64::max);
+        assert!(err < 0.15, "greedy {greedy:?} vs target {target:?}");
+    }
+
+    #[test]
+    fn violations_are_charged_the_max_cost() {
+        let mut agent =
+            Ddpg::new(DdpgConfig::default(), Constraints { d_max: 0.4, rho_min: 0.5 });
+        // Establish a max cost.
+        let ok = Feedback { cost: 250.0, delay_s: 0.3, map: 0.6 };
+        assert_eq!(agent.ddpg_cost(&ok), 250.0);
+        // A cheap but violating outcome is charged the running max.
+        let bad = Feedback { cost: 50.0, delay_s: 0.9, map: 0.6 };
+        assert_eq!(agent.ddpg_cost(&bad), 250.0);
+        // A new, higher feasible cost raises the ceiling.
+        let pricey = Feedback { cost: 400.0, delay_s: 0.3, map: 0.6 };
+        assert_eq!(agent.ddpg_cost(&pricey), 400.0);
+        assert_eq!(agent.ddpg_cost(&bad), 400.0);
+    }
+
+    #[test]
+    fn actions_live_in_the_unit_box() {
+        let mut agent =
+            Ddpg::new(DdpgConfig::default(), Constraints { d_max: 0.4, rho_min: 0.5 });
+        for i in 0..50 {
+            let ctx = [i as f64 / 50.0, 0.5, 0.2];
+            let a = agent.select_action(&ctx);
+            assert_eq!(a.len(), 4);
+            assert!(a.iter().all(|v| (0.0..=1.0).contains(v)), "{a:?}");
+        }
+    }
+
+    #[test]
+    fn noise_decays_with_updates() {
+        let mut agent =
+            Ddpg::new(DdpgConfig::default(), Constraints { d_max: 0.4, rho_min: 0.5 });
+        let s0 = agent.noise_std();
+        let ctx = [0.1, 0.2, 0.3];
+        for _ in 0..200 {
+            let a = agent.select_action(&ctx);
+            agent.update(&ctx, &a, &Feedback { cost: 100.0, delay_s: 0.3, map: 0.6 });
+        }
+        assert!(agent.noise_std() < s0);
+        assert!(agent.noise_std() >= DdpgConfig::default().noise_min);
+    }
+
+    #[test]
+    fn adapts_to_context() {
+        // Optimal action tracks the context's first coordinate.
+        let cfg = DdpgConfig { context_dims: 1, action_dims: 1, ..Default::default() };
+        let mut agent = Ddpg::new(cfg, Constraints { d_max: 1e9, rho_min: -1.0 });
+        let mut rng = SmallRng::seed_from_u64(5);
+        use rand::RngExt;
+        for _ in 0..2500 {
+            let ctx = [rng.random::<f64>()];
+            let a = agent.select_action(&ctx);
+            let cost = (a[0] - ctx[0]).powi(2) * 100.0;
+            agent.update(&ctx, &a, &Feedback { cost, delay_s: 0.0, map: 1.0 });
+        }
+        let lo = agent.greedy_action(&[0.2])[0];
+        let hi = agent.greedy_action(&[0.8])[0];
+        assert!(
+            hi - lo > 0.3,
+            "policy must track the context: pi(0.2)={lo:.2}, pi(0.8)={hi:.2}"
+        );
+    }
+}

@@ -1,0 +1,719 @@
+//! EdgeBOL — Algorithm 1 of the paper.
+//!
+//! Three GPs model cost, delay and mAP over `z = (context, control)`.
+//! Each period: estimate the safe set from the constraint GPs (eq. 8,
+//! always unioned with the a-priori safe `S_0`), then pick the safe
+//! control minimizing the cost LCB (eq. 9). Feedback updates all three
+//! GPs.
+//!
+//! Practical machinery (all discussed in §5 "Practical Issues" or §4.4,
+//! made concrete here):
+//!
+//! * **Warm-up on `S_0`.** The paper fits kernel hyperparameters "over
+//!   prior data" and freezes them. We gather that prior data online: the
+//!   first `warmup_rounds` periods draw random controls from `S_0` (the
+//!   max-resource corner box — feasible whenever the problem is), then
+//!   per-target standardization is frozen, hyperparameters optionally
+//!   fitted by marginal likelihood, and the GPs are (re)built.
+//! * **Candidate subsampling.** Evaluating the posterior on all
+//!   `|X| = 14 641` controls every period is `O(|X| T^2)`; a random
+//!   subsample plus `S_0` plus recently-selected "elite" controls keeps
+//!   the cost bounded with no measurable loss on this problem (ablation
+//!   bench `ablation_window`).
+//! * **Sliding window.** For multi-thousand-period runs (Fig. 14) the GP
+//!   keeps the most recent `max_observations` points.
+
+use crate::api::{Constraints, Feedback, GridAgent};
+use crate::grid::ControlGrid;
+use edgebol_gp::{nelder_mead, GaussianProcess, Kernel, NelderMeadOptions};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Which acquisition rule to run on top of the shared GP/safe-set
+/// machinery. EdgeBOL proper uses [`Acquisition::ConstrainedLcb`]; the
+/// other variants exist for the baselines and ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Acquisition {
+    /// eq. (9): `argmin_{x in S_t} mu_0 - beta^{1/2} sigma_0`.
+    ConstrainedLcb,
+    /// SafeOpt-style: pick the safe control with the largest posterior
+    /// uncertainty across the constraint functions (explicit safe-set
+    /// expansion; converges slowly on cost).
+    MaxUncertainty,
+    /// LCB over *all* candidates, ignoring the safe set (ablation:
+    /// quantifies how many violations safety filtering prevents).
+    UnconstrainedLcb,
+    /// Thompson sampling within the safe set: draw one cost realization
+    /// per candidate from the posterior marginals and pick the cheapest.
+    /// An extension beyond the paper; randomized exploration is sometimes
+    /// less prone to LCB's boundary-hugging.
+    ThompsonSampling,
+}
+
+/// Configuration of [`EdgeBol`].
+#[derive(Debug, Clone)]
+pub struct EdgeBolConfig {
+    /// The `beta^{1/2}` confidence multiplier (paper: 2.5). Used for both
+    /// the safe-set width (eq. 8) and the acquisition bonus (eq. 9) — the
+    /// reading of the paper's shared beta consistent with [8, 20].
+    pub beta_sqrt: f64,
+    /// The service constraints in force.
+    pub constraints: Constraints,
+    /// Warm-up periods drawing random controls from the high-resource
+    /// corner box (the "prior data" for scaling + hyperparameters).
+    pub warmup_rounds: usize,
+    /// Unit threshold of the warm-up sampling box (0.8 → 81 controls on
+    /// the paper grid). Note the *fallback* safe set `S_0` is stricter:
+    /// only the max-resources corner, the one control that is
+    /// delay-minimal and mAP-maximal by construction — warm-up points
+    /// inside the box may violate tight constraints, which is acceptable
+    /// for a pre-production phase (§4.2) but not as a perpetual fallback.
+    pub s0_threshold: f64,
+    /// Fit kernel hyperparameters at the end of warm-up (paper's
+    /// procedure); disable for exact determinism across runs.
+    pub fit_hyperparams: bool,
+    /// Sliding-window cap on retained observations (None = keep all).
+    pub max_observations: Option<usize>,
+    /// Candidate subsample size per period (None = full grid).
+    pub candidate_subsample: Option<usize>,
+    /// Acquisition rule (EdgeBOL: `ConstrainedLcb`).
+    pub acquisition: Acquisition,
+    /// Matérn-3/2 length-scale used per dimension before/without
+    /// hyperparameter fitting (unit-space).
+    pub default_lengthscale: f64,
+    /// Observation-noise variance of the standardized targets.
+    pub noise_var: f64,
+    /// Floor on the kernel signal variance in standardized-target units.
+    /// Warm-up data comes from the tight `S_0` corner, so its variance
+    /// badly underestimates the functions' range over the whole control
+    /// space; a small prior variance would make *unexplored* regions look
+    /// confidently safe (the opposite of eq. (8)'s intent). A floor of
+    /// several standardized variances keeps unexplored regions
+    /// conservative until actually observed.
+    pub min_prior_var: f64,
+    /// RNG seed (subsampling, warm-up draws).
+    pub seed: u64,
+    /// Context dimensionality (the paper's aggregated context: 3).
+    pub context_dims: usize,
+}
+
+impl EdgeBolConfig {
+    /// The paper's configuration for a given constraint set.
+    pub fn paper(constraints: Constraints) -> Self {
+        EdgeBolConfig {
+            beta_sqrt: 2.5,
+            constraints,
+            warmup_rounds: 12,
+            s0_threshold: 0.8,
+            fit_hyperparams: true,
+            max_observations: Some(800),
+            candidate_subsample: Some(2048),
+            acquisition: Acquisition::ConstrainedLcb,
+            default_lengthscale: 0.4,
+            noise_var: 0.02,
+            min_prior_var: 4.0,
+            seed: 0xEB01,
+            context_dims: 3,
+        }
+    }
+}
+
+/// Per-target affine standardization frozen at the end of warm-up.
+#[derive(Debug, Clone, Copy)]
+struct Scale {
+    mean: f64,
+    std: f64,
+}
+
+impl Scale {
+    fn to_scaled(&self, raw: f64) -> f64 {
+        (raw - self.mean) / self.std
+    }
+
+    fn mean_from_scaled(&self, scaled: f64) -> f64 {
+        scaled * self.std + self.mean
+    }
+
+    fn std_from_scaled(&self, scaled_std: f64) -> f64 {
+        scaled_std * self.std
+    }
+}
+
+/// The EdgeBOL agent.
+pub struct EdgeBol {
+    cfg: EdgeBolConfig,
+    grid: ControlGrid,
+    /// GPs for cost (0), delay (1), mAP (2); built at the end of warm-up.
+    gps: Option<[GaussianProcess; 3]>,
+    scales: Option<[Scale; 3]>,
+    /// Raw warm-up data: `(z, [cost, delay, map])`.
+    warmup_data: Vec<(Vec<f64>, [f64; 3])>,
+    /// The a-priori safe set: the max-resources corner.
+    s0: Vec<usize>,
+    /// Warm-up sampling box (high-resource controls around `S_0`).
+    warmup_box: Vec<usize>,
+    /// Per-function observation-noise std in raw units, frozen at the end
+    /// of warm-up. The safe set backs off by `beta * noise_std` so the
+    /// *realized noisy* constraints of eq. (2) hold with high probability,
+    /// not just the latent means.
+    noise_std_raw: [f64; 3],
+    /// Recently selected controls kept in every candidate set.
+    elites: Vec<usize>,
+    rng: SmallRng,
+    /// Updates received so far.
+    t: usize,
+    /// Constraints can change at runtime (Fig. 14); the GPs carry over.
+    pub constraints: Constraints,
+}
+
+impl EdgeBol {
+    /// Creates the agent over the paper's 11^4 control grid.
+    pub fn new(cfg: EdgeBolConfig) -> Self {
+        Self::with_grid(cfg, ControlGrid::paper())
+    }
+
+    /// Creates the agent over a custom grid (used by tests and ablations).
+    pub fn with_grid(cfg: EdgeBolConfig, grid: ControlGrid) -> Self {
+        let warmup_box = grid.corner_box(cfg.s0_threshold);
+        assert!(!warmup_box.is_empty(), "warm-up box must not be empty");
+        let s0 = vec![grid.max_corner()];
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        let constraints = cfg.constraints;
+        EdgeBol {
+            cfg,
+            grid,
+            gps: None,
+            scales: None,
+            warmup_data: Vec::new(),
+            s0,
+            warmup_box,
+            elites: Vec::new(),
+            rng,
+            t: 0,
+            constraints,
+            noise_std_raw: [0.0; 3],
+        }
+    }
+
+    /// The control grid.
+    pub fn grid(&self) -> &ControlGrid {
+        &self.grid
+    }
+
+    /// Updates the constraint setting at runtime (the Fig. 14 scenario).
+    /// The learned GPs are retained — this is the non-parametric
+    /// advantage the paper demonstrates against DDPG.
+    pub fn set_constraints(&mut self, constraints: Constraints) {
+        self.constraints = constraints;
+    }
+
+    /// Whether the agent is still in its warm-up phase.
+    pub fn in_warmup(&self) -> bool {
+        self.gps.is_none()
+    }
+
+    /// Number of feedback updates received.
+    pub fn updates(&self) -> usize {
+        self.t
+    }
+
+    /// Builds the candidate index set for one selection round.
+    fn candidates(&mut self) -> Vec<usize> {
+        let mut cand: Vec<usize> = match self.cfg.candidate_subsample {
+            None => (0..self.grid.len()).collect(),
+            Some(k) => {
+                let mut v: Vec<usize> =
+                    (0..k).map(|_| self.rng.random_range(0..self.grid.len())).collect();
+                v.extend_from_slice(&self.s0);
+                v.extend_from_slice(&self.elites);
+                // The expansion frontier: one-step neighbours of recent
+                // picks. Safe-set growth is local (eq. 8 admits points only
+                // once nearby observations shrink the posterior), so these
+                // candidates are where expansion actually happens.
+                for &e in self.elites.iter().rev().take(16) {
+                    v.extend(self.grid.neighbors(e));
+                }
+                v
+            }
+        };
+        cand.sort_unstable();
+        cand.dedup();
+        cand
+    }
+
+    /// Posterior over the candidates for all three functions, in raw
+    /// (unstandardized) units. Returns `(means, stds)` per function.
+    fn posterior(
+        &mut self,
+        context: &[f64],
+        cand: &[usize],
+    ) -> [(Vec<f64>, Vec<f64>); 3] {
+        let dims = self.cfg.context_dims + self.grid.dims();
+        let mut flat = Vec::with_capacity(cand.len() * dims);
+        for &idx in cand {
+            flat.extend(self.grid.z_vector(context, idx));
+        }
+        let scales = self.scales.expect("posterior requires built GPs");
+        let gps = self.gps.as_mut().expect("posterior requires built GPs");
+        let mut out: [(Vec<f64>, Vec<f64>); 3] =
+            [(Vec::new(), Vec::new()), (Vec::new(), Vec::new()), (Vec::new(), Vec::new())];
+        for (i, gp) in gps.iter_mut().enumerate() {
+            let (m, s) = gp.predict_batch(&flat);
+            let scale = scales[i];
+            out[i] = (
+                m.into_iter().map(|v| scale.mean_from_scaled(v)).collect(),
+                s.into_iter().map(|v| scale.std_from_scaled(v)).collect(),
+            );
+        }
+        out
+    }
+
+    /// The safe mask over candidates (eq. 8), before the `S_0` union.
+    ///
+    /// The confidence width combines the GP's epistemic uncertainty with
+    /// the (frozen) observation-noise std: eq. (2) constrains the *noisy
+    /// realizations* `d_t`, `rho_t`, so a control whose latent mean hugs
+    /// the boundary would still violate ~half the periods.
+    fn safe_mask(
+        &self,
+        delay: &(Vec<f64>, Vec<f64>),
+        map: &(Vec<f64>, Vec<f64>),
+    ) -> Vec<bool> {
+        let b = self.cfg.beta_sqrt;
+        let c = self.constraints;
+        // Observation-noise backoff at a ~90% one-sided quantile: the
+        // realized KPIs, not just the latent means, must satisfy eq. (2)
+        // "with very high probability" (§6.2) — but a full beta-width
+        // noise backoff would freeze safe-set expansion entirely.
+        let zd = 1.3 * self.noise_std_raw[1];
+        let zm = 1.3 * self.noise_std_raw[2];
+        (0..delay.0.len())
+            .map(|j| {
+                delay.0[j] + b * delay.1[j] + zd <= c.d_max
+                    && map.0[j] - b * map.1[j] - zm >= c.rho_min
+            })
+            .collect()
+    }
+
+    /// Estimated safe-set size over the *full* grid for the given context
+    /// (the Fig. 13 plot). Falls back to `|S_0|` during warm-up.
+    pub fn safe_set_size(&mut self, context: &[f64]) -> usize {
+        if self.in_warmup() {
+            return self.s0.len();
+        }
+        let cand: Vec<usize> = (0..self.grid.len()).collect();
+        let [_, delay, map] = self.posterior(context, &cand);
+        let mask = self.safe_mask(&delay, &map);
+        let mut safe: Vec<usize> =
+            cand.iter().zip(&mask).filter(|(_, &m)| m).map(|(&i, _)| i).collect();
+        safe.extend_from_slice(&self.s0);
+        safe.sort_unstable();
+        safe.dedup();
+        safe.len()
+    }
+
+    /// Debug introspection: posterior `(cost mu, cost sd, delay mu,
+    /// delay sd)` in raw units at one control.
+    pub fn debug_posterior(&mut self, context: &[f64], idx: usize) -> (f64, f64, f64, f64) {
+        let [cost, delay, _] = self.posterior(context, &[idx]);
+        (cost.0[0], cost.1[0], delay.0[0], delay.1[0])
+    }
+
+    /// Monte-Carlo estimate of the safe-set size: evaluates the safe mask
+    /// on `samples` random grid points and scales the hit fraction to
+    /// `|X|`. Orders of magnitude cheaper than [`Self::safe_set_size`] for
+    /// per-period logging (Fig. 13) at the cost of sampling error
+    /// `O(|X|/sqrt(samples))`.
+    pub fn safe_set_size_sampled(&mut self, context: &[f64], samples: usize) -> usize {
+        if self.in_warmup() {
+            return self.s0.len();
+        }
+        let n = samples.min(self.grid.len()).max(1);
+        let cand: Vec<usize> =
+            (0..n).map(|_| self.rng.random_range(0..self.grid.len())).collect();
+        let [_, delay, map] = self.posterior(context, &cand);
+        let mask = self.safe_mask(&delay, &map);
+        let hits = mask.iter().filter(|&&m| m).count();
+        let est = (hits as f64 / n as f64 * self.grid.len() as f64).round() as usize;
+        est.max(self.s0.len())
+    }
+
+    /// Freezes scaling, optionally fits hyperparameters, and replays the
+    /// warm-up data into fresh GPs.
+    fn build_gps(&mut self) {
+        let n = self.warmup_data.len();
+        debug_assert!(n > 0);
+        let dims = self.cfg.context_dims + self.grid.dims();
+        // Per-target scaling.
+        let mut scales = [Scale { mean: 0.0, std: 1.0 }; 3];
+        for k in 0..3 {
+            let ys: Vec<f64> = self.warmup_data.iter().map(|(_, y)| y[k]).collect();
+            let mean = edgebol_linalg::vecops::mean(&ys);
+            let std = edgebol_linalg::vecops::variance(&ys).sqrt().max(1e-3 * mean.abs()).max(1e-6);
+            scales[k] = Scale { mean, std };
+        }
+        // Kernels: defaults, or marginal-likelihood fits on the warm-up data.
+        let prior_var = self.cfg.min_prior_var.max(1.0);
+        let mut kernels = [
+            Kernel::matern32(prior_var, vec![self.cfg.default_lengthscale; dims]),
+            Kernel::matern32(prior_var, vec![self.cfg.default_lengthscale; dims]),
+            Kernel::matern32(prior_var, vec![self.cfg.default_lengthscale; dims]),
+        ];
+        let mut noises = [self.cfg.noise_var; 3];
+        if self.cfg.fit_hyperparams {
+            // Grouped marginal-likelihood fit: one length-scale for the
+            // context dimensions, one for the control dimensions, plus
+            // noise — 3 parameters, well determined even by a short
+            // warm-up (a full 7-dim ARD fit on a dozen corner points is
+            // hopelessly underdetermined and, worse, tends to degenerate
+            // length-scales that make the safe set either razor-thin or
+            // falsely confident). The signal variance stays at the
+            // conservative floor (see `min_prior_var`).
+            let ctx_dims = self.cfg.context_dims;
+            // Lower bound 0.3: the warm-up box spans only ~0.2 of each
+                // control dimension, so shorter scales are not identifiable
+                // from the prior data — and they cripple safe-set expansion.
+                let ls_bounds = (0.3f64, 0.8f64);
+            let noise_bounds = (1e-4f64, 0.3f64);
+            for k in 0..3 {
+                let ys: Vec<f64> = self
+                    .warmup_data
+                    .iter()
+                    .map(|(_, y)| scales[k].to_scaled(y[k]))
+                    .collect();
+                let data = &self.warmup_data;
+                let objective = |p: &[f64]| -> f64 {
+                    let ls_ctx = 10f64.powf(p[0]).clamp(ls_bounds.0, ls_bounds.1);
+                    let ls_ctl = 10f64.powf(p[1]).clamp(ls_bounds.0, ls_bounds.1);
+                    let noise = 10f64.powf(p[2]).clamp(noise_bounds.0, noise_bounds.1);
+                    let mut ls = vec![ls_ctx; ctx_dims];
+                    ls.extend(vec![ls_ctl; dims - ctx_dims]);
+                    let mut gp =
+                        GaussianProcess::new(Kernel::matern32(prior_var, ls), noise);
+                    for ((z, _), y) in data.iter().zip(&ys) {
+                        if gp.observe(z, *y).is_err() {
+                            return f64::INFINITY;
+                        }
+                    }
+                    match gp.log_marginal_likelihood() {
+                        Ok(l) if l.is_finite() => -l,
+                        _ => f64::INFINITY,
+                    }
+                };
+                let start = [
+                    self.cfg.default_lengthscale.log10(),
+                    self.cfg.default_lengthscale.log10(),
+                    self.cfg.noise_var.log10(),
+                ];
+                let opts = NelderMeadOptions { max_evals: 120, ..Default::default() };
+                let (p, _) = nelder_mead(objective, &start, &opts);
+                let ls_ctx = 10f64.powf(p[0]).clamp(ls_bounds.0, ls_bounds.1);
+                let ls_ctl = 10f64.powf(p[1]).clamp(ls_bounds.0, ls_bounds.1);
+                let mut ls = vec![ls_ctx; ctx_dims];
+                ls.extend(vec![ls_ctl; dims - ctx_dims]);
+                kernels[k] = Kernel::matern32(prior_var, ls);
+                noises[k] = 10f64.powf(p[2]).clamp(noise_bounds.0, noise_bounds.1);
+            }
+        }
+        let mut next = 0;
+        let mut gps = kernels.map(|kernel| {
+            let mut gp = GaussianProcess::new(kernel, noises[next]);
+            next += 1;
+            if let Some(cap) = self.cfg.max_observations {
+                gp = gp.with_max_observations(cap);
+            }
+            gp
+        });
+        // Replay warm-up observations.
+        for (z, y) in &self.warmup_data {
+            for k in 0..3 {
+                gps[k]
+                    .observe(z, scales[k].to_scaled(y[k]))
+                    .expect("warmup replay cannot fail");
+            }
+        }
+        for k in 0..3 {
+            self.noise_std_raw[k] = noises[k].sqrt() * scales[k].std;
+        }
+        self.scales = Some(scales);
+        self.gps = Some(gps);
+    }
+}
+
+impl GridAgent for EdgeBol {
+    fn select(&mut self, context: &[f64]) -> usize {
+        assert_eq!(context.len(), self.cfg.context_dims, "context dimensionality");
+        if self.in_warmup() {
+            let pick = self.rng.random_range(0..self.warmup_box.len());
+            return self.warmup_box[pick];
+        }
+        let cand = self.candidates();
+        let [cost, delay, map] = self.posterior(context, &cand);
+        let mask = self.safe_mask(&delay, &map);
+
+        let b = self.cfg.beta_sqrt;
+        // Thompson draws are materialized up front (the scoring closure
+        // cannot borrow the RNG mutably while the posteriors are borrowed).
+        let thompson: Vec<f64> = if self.cfg.acquisition == Acquisition::ThompsonSampling {
+            (0..cand.len())
+                .map(|j| cost.0[j] + cost.1[j] * edgebol_linalg::stats::normal01(&mut self.rng))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let score = |j: usize| -> f64 {
+            match self.cfg.acquisition {
+                Acquisition::ConstrainedLcb | Acquisition::UnconstrainedLcb => {
+                    cost.0[j] - b * cost.1[j]
+                }
+                // Negated: we minimize the score below.
+                Acquisition::MaxUncertainty => -(delay.1[j].max(map.1[j])),
+                Acquisition::ThompsonSampling => thompson[j],
+            }
+        };
+
+        let use_mask = self.cfg.acquisition != Acquisition::UnconstrainedLcb;
+        let in_s0 = |idx: usize| self.s0.binary_search(&idx).is_ok();
+        let mut best: Option<(usize, f64)> = None;
+        for (j, &idx) in cand.iter().enumerate() {
+            if use_mask && !mask[j] && !in_s0(idx) {
+                continue;
+            }
+            let s = score(j);
+            if best.map_or(true, |(_, bs)| s < bs) {
+                best = Some((idx, s));
+            }
+        }
+        // The safe set always contains S_0, so `best` is always present
+        // when use_mask is set; without the mask every candidate competes.
+        let chosen = best.expect("candidate set never empty").0;
+        self.elites.push(chosen);
+        if self.elites.len() > 64 {
+            let drop = self.elites.len() - 64;
+            self.elites.drain(..drop);
+        }
+        chosen
+    }
+
+    fn update(&mut self, context: &[f64], control_idx: usize, feedback: &Feedback) {
+        let z = self.grid.z_vector(context, control_idx);
+        let y = [feedback.cost, feedback.delay_s, feedback.map];
+        self.t += 1;
+        match (&mut self.gps, self.scales) {
+            (Some(gps), Some(scales)) => {
+                for k in 0..3 {
+                    gps[k]
+                        .observe(&z, scales[k].to_scaled(y[k]))
+                        .expect("online observe cannot fail with positive noise");
+                }
+            }
+            _ => {
+                self.warmup_data.push((z, y));
+                if self.warmup_data.len() >= self.cfg.warmup_rounds {
+                    self.build_gps();
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self.cfg.acquisition {
+            Acquisition::ConstrainedLcb => "EdgeBOL",
+            Acquisition::MaxUncertainty => "SafeOpt-like",
+            Acquisition::UnconstrainedLcb => "LCB (unconstrained)",
+            Acquisition::ThompsonSampling => "EdgeBOL-TS",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic environment on the unit cube with known optimum:
+    /// cost falls as controls fall; delay rises as controls fall.
+    /// Constraint: delay <= d_max. The cheapest safe control sits exactly
+    /// where delay == d_max.
+    struct Toy {
+        d_max: f64,
+    }
+
+    impl Toy {
+        fn eval(&self, grid: &ControlGrid, idx: usize) -> Feedback {
+            let c = grid.coords(idx);
+            let level: f64 = c.iter().sum::<f64>() / c.len() as f64;
+            // Cost 100..300 rising with resources; delay 0.1..0.9 falling.
+            let cost = 100.0 + 200.0 * level;
+            let delay = 0.9 - 0.8 * level;
+            Feedback { cost, delay_s: delay, map: 1.0 }
+        }
+
+        fn optimal_cost(&self, grid: &ControlGrid) -> f64 {
+            (0..grid.len())
+                .map(|i| self.eval(grid, i))
+                .filter(|f| f.delay_s <= self.d_max)
+                .map(|f| f.cost)
+                .fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    fn cfg() -> EdgeBolConfig {
+        let mut c = EdgeBolConfig::paper(Constraints { d_max: 0.5, rho_min: 0.0 });
+        c.fit_hyperparams = false; // keep the unit test fast
+        c.warmup_rounds = 8;
+        c.candidate_subsample = Some(512);
+        c
+    }
+
+    fn run_toy(cfg: EdgeBolConfig, steps: usize) -> (EdgeBol, Vec<Feedback>) {
+        let toy = Toy { d_max: cfg.constraints.d_max };
+        let grid = ControlGrid::new(6, 4); // 1296 controls: fast
+        let mut agent = EdgeBol::with_grid(cfg, grid);
+        let ctx = [0.5, 0.5, 0.1];
+        let mut history = Vec::new();
+        for _ in 0..steps {
+            let idx = agent.select(&ctx);
+            let fb = toy.eval(agent.grid(), idx);
+            agent.update(&ctx, idx, &fb);
+            history.push(fb);
+        }
+        (agent, history)
+    }
+
+    #[test]
+    fn warmup_draws_from_s0_only() {
+        let toy = Toy { d_max: 0.5 };
+        let grid = ControlGrid::new(6, 4);
+        let mut agent = EdgeBol::with_grid(cfg(), grid);
+        let ctx = [0.5, 0.5, 0.1];
+        for _ in 0..8 {
+            assert!(agent.in_warmup());
+            let idx = agent.select(&ctx);
+            let c = agent.grid().coords(idx);
+            assert!(c.iter().all(|&v| v >= 0.8 - 1e-12), "warmup pick outside S0: {c:?}");
+            let fb = toy.eval(agent.grid(), idx);
+            agent.update(&ctx, idx, &fb);
+        }
+        assert!(!agent.in_warmup());
+    }
+
+    #[test]
+    fn converges_near_the_constrained_optimum() {
+        let c = cfg();
+        let toy = Toy { d_max: c.constraints.d_max };
+        let (agent, history) = run_toy(c, 60);
+        let opt = toy.optimal_cost(agent.grid());
+        // Average cost over the last 10 periods within 10% of optimal.
+        let tail: f64 =
+            history[50..].iter().map(|f| f.cost).sum::<f64>() / 10.0;
+        // The safe set deliberately backs off the boundary by
+        // beta * (sigma + noise std), so allow that margin over the
+        // noiseless optimum.
+        assert!(
+            tail < opt * 1.25,
+            "converged cost {tail:.1} vs optimal {opt:.1}"
+        );
+    }
+
+    #[test]
+    fn constraint_violations_are_rare_after_warmup() {
+        let c = cfg();
+        let (_, history) = run_toy(c, 80);
+        let violations = history[8..]
+            .iter()
+            .filter(|f| f.delay_s > 0.5 + 1e-9)
+            .count();
+        assert!(
+            violations <= 8,
+            "{violations} violations in 72 post-warmup periods"
+        );
+    }
+
+    #[test]
+    fn unconstrained_lcb_violates_more() {
+        let mut unc = cfg();
+        unc.acquisition = Acquisition::UnconstrainedLcb;
+        let (_, h_unc) = run_toy(unc, 80);
+        let (_, h_safe) = run_toy(cfg(), 80);
+        let count = |h: &[Feedback]| h[8..].iter().filter(|f| f.delay_s > 0.5).count();
+        assert!(
+            count(&h_unc) > count(&h_safe),
+            "unconstrained {} vs safe {}",
+            count(&h_unc),
+            count(&h_safe)
+        );
+    }
+
+    #[test]
+    fn safe_set_grows_from_s0() {
+        let c = cfg();
+        let toy = Toy { d_max: c.constraints.d_max };
+        let grid = ControlGrid::new(6, 4);
+        let mut agent = EdgeBol::with_grid(c, grid);
+        let ctx = [0.5, 0.5, 0.1];
+        let s0_size = agent.safe_set_size(&ctx);
+        for _ in 0..40 {
+            let idx = agent.select(&ctx);
+            let fb = toy.eval(agent.grid(), idx);
+            agent.update(&ctx, idx, &fb);
+        }
+        let later = agent.safe_set_size(&ctx);
+        assert!(later > s0_size, "safe set should expand: {later} vs {s0_size}");
+        // And it must not include everything: the toy has infeasible
+        // controls (delay up to 0.9 > 0.5).
+        assert!(later < agent.grid().len(), "safe set cannot be the whole grid");
+    }
+
+    #[test]
+    fn constraint_change_reuses_knowledge() {
+        let c = cfg();
+        let toy_loose = Toy { d_max: 0.7 };
+        let grid = ControlGrid::new(6, 4);
+        let mut agent = EdgeBol::with_grid(
+            EdgeBolConfig { constraints: Constraints { d_max: 0.7, rho_min: 0.0 }, ..c },
+            grid,
+        );
+        let ctx = [0.5, 0.5, 0.1];
+        for _ in 0..50 {
+            let idx = agent.select(&ctx);
+            let fb = toy_loose.eval(agent.grid(), idx);
+            agent.update(&ctx, idx, &fb);
+        }
+        // Tighten the constraint; the very next selections should already
+        // respect it (non-parametric safe set recomputed from the same GPs).
+        agent.set_constraints(Constraints { d_max: 0.45, rho_min: 0.0 });
+        let toy_tight = Toy { d_max: 0.45 };
+        let mut violations = 0;
+        for _ in 0..12 {
+            let idx = agent.select(&ctx);
+            let fb = toy_tight.eval(agent.grid(), idx);
+            if fb.delay_s > 0.45 {
+                violations += 1;
+            }
+            agent.update(&ctx, idx, &fb);
+        }
+        assert!(violations <= 2, "{violations} violations right after tightening");
+    }
+
+    #[test]
+    fn thompson_sampling_converges_and_respects_safe_set() {
+        let mut c = cfg();
+        c.acquisition = Acquisition::ThompsonSampling;
+        let toy = Toy { d_max: c.constraints.d_max };
+        let (agent, history) = run_toy(c, 80);
+        let opt = toy.optimal_cost(agent.grid());
+        let tail: f64 = history[70..].iter().map(|f| f.cost).sum::<f64>() / 10.0;
+        assert!(tail < opt * 1.35, "TS converged cost {tail:.1} vs optimal {opt:.1}");
+        let violations = history[8..].iter().filter(|f| f.delay_s > 0.5 + 1e-9).count();
+        assert!(violations <= 10, "{violations} TS violations");
+    }
+
+    #[test]
+    fn name_reflects_acquisition() {
+        let agent = EdgeBol::with_grid(cfg(), ControlGrid::new(4, 2));
+        assert_eq!(agent.name(), "EdgeBOL");
+        let mut sc = cfg();
+        sc.acquisition = Acquisition::MaxUncertainty;
+        assert_eq!(EdgeBol::with_grid(sc, ControlGrid::new(4, 2)).name(), "SafeOpt-like");
+    }
+}

@@ -1,0 +1,46 @@
+//! Contextual-bandit framework: EdgeBOL and its benchmarks.
+//!
+//! This crate contains the paper's algorithmic contribution and every
+//! baseline it is compared against, over an abstract interface so the same
+//! agents drive the flow-level testbed, the DES, or any other environment:
+//!
+//! * [`EdgeBol`] — Algorithm 1: three Gaussian processes (cost, delay,
+//!   mAP) over the joint context–control space, a GP-estimated **safe set**
+//!   (eq. 8) seeded by an always-feasible `S_0`, and the **constrained
+//!   lower-confidence-bound** acquisition (eq. 9). Includes the practical
+//!   machinery the paper alludes to: a warm-up phase on `S_0` that doubles
+//!   as the "prior data" for one-shot hyperparameter fitting (then frozen),
+//!   target standardization, candidate subsampling and a sliding
+//!   observation window for very long runs.
+//! * [`SafeOptLike`] — the SafeOpt-style baseline (§5 "Acquisition
+//!   function"): same safe set, but an uncertainty-maximizing acquisition
+//!   that explicitly expands the safe set; the paper reports (and Fig.-9
+//!   style runs here confirm) slower cost convergence.
+//! * [`EpsGreedy`] — a contextless tabular ε-greedy control, the classic
+//!   bandit strawman.
+//! * [`Oracle`] — offline exhaustive search over the control grid against
+//!   a noiseless evaluator: the dashed "optimal" lines of Figs. 10 and 12.
+//! * [`Ddpg`] — the neural benchmark of §6.5: an actor–critic DDPG
+//!   adapted to the contextual-bandit setting, with the "DDPG cost" trick
+//!   (constraint violations are charged the maximum cost) and a sigmoid
+//!   actor head, built on `edgebol-nn`.
+//!
+//! Contexts and controls are normalized to unit hypercubes (`[0,1]^3` and
+//! `[0,1]^4`); the mapping to physical policies lives in
+//! `edgebol-testbed::ControlInput`.
+
+pub mod api;
+pub mod ddpg;
+pub mod edgebol;
+pub mod epsgreedy;
+pub mod grid;
+pub mod oracle;
+pub mod safeopt;
+
+pub use api::{Constraints, Feedback, GridAgent};
+pub use ddpg::{Ddpg, DdpgConfig};
+pub use edgebol::{Acquisition, EdgeBol, EdgeBolConfig};
+pub use epsgreedy::EpsGreedy;
+pub use grid::ControlGrid;
+pub use oracle::{Oracle, OracleOutcome};
+pub use safeopt::SafeOptLike;

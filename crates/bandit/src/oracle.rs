@@ -1,0 +1,113 @@
+//! The offline exhaustive-search oracle.
+//!
+//! The paper benchmarks EdgeBOL against "an offline oracle, which we
+//! obtained using a time-consuming exhaustive search procedure over the
+//! whole control space" (§6.3) — "though this approach is unfeasible in
+//! practice, it is a good benchmark to empirically assess the optimality
+//! of EdgeBOL". Given a noiseless evaluator, [`Oracle::search`] scans the
+//! full grid and returns the feasible cost minimizer.
+
+use crate::api::Constraints;
+use crate::grid::ControlGrid;
+
+/// Result of an exhaustive search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OracleOutcome {
+    /// Index of the best control found.
+    pub best_idx: usize,
+    /// Its (noiseless) cost.
+    pub best_cost: f64,
+    /// Number of feasible controls encountered.
+    pub feasible_count: usize,
+    /// `false` when no control satisfied the constraints and the
+    /// delay-minimizing fallback was returned instead.
+    pub feasible: bool,
+}
+
+/// Exhaustive-search oracle.
+pub struct Oracle;
+
+impl Oracle {
+    /// Scans the grid with a noiseless evaluator returning
+    /// `(cost, delay_s, map)` per control index.
+    ///
+    /// If no control is feasible, returns the control with the smallest
+    /// delay (the paper's `S_0` rationale) with `feasible = false`.
+    pub fn search(
+        grid: &ControlGrid,
+        constraints: &Constraints,
+        mut eval: impl FnMut(usize) -> (f64, f64, f64),
+    ) -> OracleOutcome {
+        let mut best: Option<(usize, f64)> = None;
+        let mut fallback: Option<(usize, f64)> = None; // min delay
+        let mut feasible_count = 0usize;
+        for idx in 0..grid.len() {
+            let (cost, delay, map) = eval(idx);
+            if fallback.map_or(true, |(_, d)| delay < d) {
+                fallback = Some((idx, delay));
+            }
+            if constraints.satisfied(delay, map) {
+                feasible_count += 1;
+                if best.map_or(true, |(_, c)| cost < c) {
+                    best = Some((idx, cost));
+                }
+            }
+        }
+        match best {
+            Some((idx, cost)) => {
+                OracleOutcome { best_idx: idx, best_cost: cost, feasible_count, feasible: true }
+            }
+            None => {
+                let (idx, _) = fallback.expect("grid is never empty");
+                OracleOutcome { best_idx: idx, best_cost: f64::NAN, feasible_count: 0, feasible: false }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_eval(grid: &ControlGrid) -> impl FnMut(usize) -> (f64, f64, f64) + '_ {
+        move |idx| {
+            let c = grid.coords(idx);
+            let level: f64 = c.iter().sum::<f64>() / c.len() as f64;
+            (100.0 + 200.0 * level, 0.9 - 0.8 * level, 1.0)
+        }
+    }
+
+    #[test]
+    fn finds_the_boundary_optimum() {
+        let grid = ControlGrid::new(11, 2);
+        let constraints = Constraints { d_max: 0.5, rho_min: 0.0 };
+        let out = Oracle::search(&grid, &constraints, toy_eval(&grid));
+        assert!(out.feasible);
+        // Feasibility requires level >= 0.5; cheapest feasible level is
+        // exactly 0.5 -> cost 200.
+        assert!((out.best_cost - 200.0).abs() < 1e-9, "{}", out.best_cost);
+        let lvl: f64 = grid.coords(out.best_idx).iter().sum::<f64>() / 2.0;
+        assert!((lvl - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counts_feasible_controls() {
+        let grid = ControlGrid::new(3, 1); // levels 0, 0.5, 1
+        let constraints = Constraints { d_max: 0.5, rho_min: 0.0 };
+        let out = Oracle::search(&grid, &constraints, toy_eval(&grid));
+        // level >= 0.5 -> 2 of 3 feasible.
+        assert_eq!(out.feasible_count, 2);
+    }
+
+    #[test]
+    fn infeasible_problem_falls_back_to_min_delay() {
+        let grid = ControlGrid::new(5, 2);
+        let constraints = Constraints { d_max: 0.01, rho_min: 0.0 }; // impossible
+        let out = Oracle::search(&grid, &constraints, toy_eval(&grid));
+        assert!(!out.feasible);
+        assert_eq!(out.feasible_count, 0);
+        assert!(out.best_cost.is_nan());
+        // Fallback is the min-delay (max resources) corner.
+        assert_eq!(out.best_idx, grid.max_corner());
+    }
+}

@@ -1,0 +1,179 @@
+//! One bench per paper figure: reduced-size versions of the regenerators
+//! in `src/bin/` (those produce the full series; these keep the same code
+//! paths under `cargo bench` so regressions in any experiment's pipeline
+//! are caught). DESIGN.md §4 maps figures to both targets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgebol_bandit::{Constraints, ControlGrid, EdgeBolConfig, Oracle};
+use edgebol_bench::sweep::{control, measure};
+use edgebol_bench::run_once;
+use edgebol_core::agent::{DdpgAgent, EdgeBolAgent};
+use edgebol_core::problem::ProblemSpec;
+use edgebol_testbed::{Calibration, ControlInput, FlowTestbed, Scenario};
+use std::hint::black_box;
+
+/// Figs. 1–4: one DES measurement point each (res/airtime/GPU sweeps share
+/// this path).
+fn bench_measurement_figures(c: &mut Criterion) {
+    let single = Scenario::single_user(35.0);
+    c.bench_function("fig01_04_des_point", |b| {
+        b.iter(|| measure(black_box(&single), &control(0.5, 1.0, 1.0, 28), 1, 2))
+    });
+    c.bench_function("fig02_des_point_low_airtime", |b| {
+        b.iter(|| measure(black_box(&single), &control(1.0, 0.2, 1.0, 28), 1, 2))
+    });
+    c.bench_function("fig03_des_point_slow_gpu", |b| {
+        b.iter(|| measure(black_box(&single), &control(0.5, 1.0, 0.1, 28), 1, 2))
+    });
+    let tenx = Scenario::tenx_load(35.0);
+    c.bench_function("fig05_06_des_point_10x", |b| {
+        b.iter(|| measure(black_box(&tenx), &control(1.0, 1.0, 1.0, 16), 1, 2))
+    });
+}
+
+fn quick_agent(spec: &ProblemSpec, seed: u64) -> EdgeBolAgent {
+    let mut cfg = EdgeBolConfig::paper(spec.constraints());
+    cfg.fit_hyperparams = false;
+    cfg.candidate_subsample = Some(512);
+    cfg.seed = seed;
+    EdgeBolAgent::with_config(spec, cfg)
+}
+
+/// Fig. 9: a 30-period convergence run.
+fn bench_fig09(c: &mut Criterion) {
+    let spec = ProblemSpec::convergence(8.0);
+    c.bench_function("fig09_convergence_30_periods", |b| {
+        b.iter(|| {
+            let env = FlowTestbed::new(Calibration::fast(), Scenario::single_user(35.0), 1);
+            run_once(
+                Box::new(env),
+                Box::new(quick_agent(&spec, 2)),
+                spec,
+                30,
+                false,
+                Vec::new(),
+            )
+        })
+    });
+}
+
+/// Figs. 10/12: the exhaustive-search oracle over the full 11^4 grid.
+fn bench_oracle(c: &mut Criterion) {
+    let grid = ControlGrid::paper();
+    let probe = FlowTestbed::new(Calibration::default(), Scenario::single_user(35.0), 0);
+    c.bench_function("fig10_12_oracle_full_grid", |b| {
+        b.iter(|| {
+            Oracle::search(&grid, &Constraints { d_max: 0.4, rho_min: 0.5 }, |idx| {
+                let cu = grid.coords(idx);
+                let ctl = ControlInput::from_unit(cu[0], cu[1], cu[2], cu[3]);
+                let ss = probe.steady_state(black_box(&[35.0]), &ctl);
+                // The oracle bench exercises the KPI sweep; the mAP term is
+                // resolution-cached in the real regenerator.
+                (ss.server_power_w + 8.0 * ss.bs_power_w, ss.worst_delay_s(), 0.6)
+            })
+        })
+    });
+}
+
+/// Fig. 11: converged-policy extraction (runs the same loop as fig09 and
+/// summarizes the tail control).
+fn bench_fig11(c: &mut Criterion) {
+    let spec = ProblemSpec::new(1.0, 8.0, 0.5, 0.4);
+    c.bench_function("fig11_policy_summary_30_periods", |b| {
+        b.iter(|| {
+            let env = FlowTestbed::new(Calibration::fast(), Scenario::single_user(35.0), 3);
+            let t = run_once(
+                Box::new(env),
+                Box::new(quick_agent(&spec, 4)),
+                spec,
+                30,
+                false,
+                Vec::new(),
+            );
+            t.tail_mean_control(10)
+        })
+    });
+}
+
+/// Fig. 12: a 30-period multi-user learning run.
+fn bench_fig12(c: &mut Criterion) {
+    let spec = ProblemSpec::new(1.0, 4.0, 3.0, 0.55);
+    c.bench_function("fig12_heterogeneous_30_periods", |b| {
+        b.iter(|| {
+            let env = FlowTestbed::new(Calibration::fast(), Scenario::heterogeneous(4), 5);
+            run_once(
+                Box::new(env),
+                Box::new(quick_agent(&spec, 6)),
+                spec,
+                30,
+                false,
+                Vec::new(),
+            )
+        })
+    });
+}
+
+/// Fig. 13: dynamic context with safe-set logging.
+fn bench_fig13(c: &mut Criterion) {
+    let spec = ProblemSpec::new(1.0, 8.0, 0.4, 0.5);
+    c.bench_function("fig13_dynamic_30_periods_safeset", |b| {
+        b.iter(|| {
+            let env = FlowTestbed::new(Calibration::fast(), Scenario::dynamic(), 7);
+            run_once(
+                Box::new(env),
+                Box::new(quick_agent(&spec, 8)),
+                spec,
+                30,
+                true,
+                Vec::new(),
+            )
+        })
+    });
+}
+
+/// Fig. 14: EdgeBOL vs DDPG with one constraint change.
+fn bench_fig14(c: &mut Criterion) {
+    let spec = ProblemSpec::new(1.0, 8.0, 0.5, 0.4);
+    let schedule = vec![(30usize, 0.4, 0.6)];
+    c.bench_function("fig14_edgebol_60_periods_1_change", |b| {
+        b.iter(|| {
+            let env = FlowTestbed::new(Calibration::fast(), Scenario::single_user(35.0), 9);
+            run_once(
+                Box::new(env),
+                Box::new(quick_agent(&spec, 10)),
+                spec,
+                60,
+                false,
+                schedule.clone(),
+            )
+        })
+    });
+    c.bench_function("fig14_ddpg_60_periods_1_change", |b| {
+        b.iter(|| {
+            let env = FlowTestbed::new(Calibration::fast(), Scenario::single_user(35.0), 9);
+            run_once(
+                Box::new(env),
+                Box::new(DdpgAgent::new(&spec, 11)),
+                spec,
+                60,
+                false,
+                schedule.clone(),
+            )
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(5))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_measurement_figures, bench_fig09, bench_oracle, bench_fig11,
+        bench_fig12, bench_fig13, bench_fig14
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Ablation — what does the safe set buy?
+//!
+//! Compares three acquisitions sharing the same GPs on the medium
+//! constraint setting: EdgeBOL's constrained LCB (eq. 9 over eq. 8), an
+//! *unconstrained* LCB (no safe set), and the SafeOpt-style
+//! uncertainty-maximizing rule the paper rejected for slow convergence.
+//! Reported: converged cost, violation counts, convergence period.
+
+use edgebol_bandit::{Acquisition, EdgeBolConfig};
+use edgebol_bench::sweep::env_usize;
+use edgebol_bench::{f1, f3, run_reps, Table};
+use edgebol_core::agent::EdgeBolAgent;
+use edgebol_core::problem::ProblemSpec;
+use edgebol_testbed::{Calibration, FlowTestbed, Scenario};
+
+fn main() {
+    let reps = env_usize("EDGEBOL_REPS", 5);
+    let periods = env_usize("EDGEBOL_PERIODS", 150);
+    let spec = ProblemSpec::convergence(8.0);
+
+    let variants = [
+        ("constrained LCB (EdgeBOL)", Acquisition::ConstrainedLcb),
+        ("unconstrained LCB", Acquisition::UnconstrainedLcb),
+        ("max-uncertainty (SafeOpt-like)", Acquisition::MaxUncertainty),
+    ];
+
+    let mut table = Table::new(
+        "Ablation — acquisition rules on the medium setting (delta2 = 8)",
+        &["acquisition", "tail_cost", "violation_rate", "conv_period"],
+    );
+    for (label, acq) in variants {
+        let traces = run_reps(
+            reps,
+            periods,
+            spec,
+            |seed| {
+                Box::new(FlowTestbed::new(
+                    Calibration::fast(),
+                    Scenario::single_user(35.0),
+                    0xAB0 + seed,
+                ))
+            },
+            |seed| {
+                let mut cfg = EdgeBolConfig::paper(spec.constraints());
+                cfg.acquisition = acq;
+                cfg.seed = 0x88 + seed;
+                Box::new(EdgeBolAgent::with_config(&spec, cfg))
+            },
+        );
+        let tail: Vec<f64> = traces.iter().map(|t| t.tail_mean_cost(20)).collect();
+        let viol: Vec<f64> =
+            traces.iter().map(|t| 1.0 - t.satisfaction_rate(12)).collect();
+        let conv: Vec<f64> = traces
+            .iter()
+            .filter_map(|t| t.convergence_period(0.10).map(|c| c as f64))
+            .collect();
+        table.push_row(vec![
+            label.to_string(),
+            f1(edgebol_bench::median(&tail)),
+            f3(edgebol_bench::median(&viol)),
+            f1(edgebol_bench::median(&conv)),
+        ]);
+    }
+    table.print();
+    let path = table.write_csv("ablation_safeset").expect("write csv");
+    println!("wrote {}", path.display());
+}

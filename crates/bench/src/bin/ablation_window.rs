@@ -1,0 +1,67 @@
+//! Ablation — scalability knobs: sliding window and candidate subsampling.
+//!
+//! EdgeBOL's exact GP is O(T^2) per update and O(|candidates| T^2) per
+//! selection. The long-run experiments bound both with a sliding
+//! observation window and candidate subsampling (DESIGN.md §3). This
+//! ablation quantifies what those approximations cost in converged
+//! quality and what they buy in wall-clock time.
+
+use edgebol_bandit::EdgeBolConfig;
+use edgebol_bench::sweep::env_usize;
+use edgebol_bench::{f1, f3, run_reps, Table};
+use edgebol_core::agent::EdgeBolAgent;
+use edgebol_core::problem::ProblemSpec;
+use edgebol_testbed::{Calibration, FlowTestbed, Scenario};
+use std::time::Instant;
+
+fn main() {
+    let reps = env_usize("EDGEBOL_REPS", 3);
+    let periods = env_usize("EDGEBOL_PERIODS", 200);
+    let spec = ProblemSpec::convergence(8.0);
+
+    let variants: [(&str, Option<usize>, Option<usize>); 4] = [
+        ("full GP, 2048 candidates", None, Some(2048)),
+        ("window 400, 2048 candidates", Some(400), Some(2048)),
+        ("window 400, 512 candidates", Some(400), Some(512)),
+        ("window 150, 512 candidates", Some(150), Some(512)),
+    ];
+
+    let mut table = Table::new(
+        "Ablation — sliding window & candidate subsampling",
+        &["variant", "tail_cost", "violation_rate", "wall_s"],
+    );
+    for (label, window, cands) in variants {
+        let started = Instant::now();
+        let traces = run_reps(
+            reps,
+            periods,
+            spec,
+            |seed| {
+                Box::new(FlowTestbed::new(
+                    Calibration::fast(),
+                    Scenario::single_user(35.0),
+                    0xAD0 + seed,
+                ))
+            },
+            |seed| {
+                let mut cfg = EdgeBolConfig::paper(spec.constraints());
+                cfg.max_observations = window;
+                cfg.candidate_subsample = cands;
+                cfg.seed = 0xAA + seed;
+                Box::new(EdgeBolAgent::with_config(&spec, cfg))
+            },
+        );
+        let wall = started.elapsed().as_secs_f64();
+        let tails: Vec<f64> = traces.iter().map(|t| t.tail_mean_cost(20)).collect();
+        let viols: Vec<f64> = traces.iter().map(|t| 1.0 - t.satisfaction_rate(12)).collect();
+        table.push_row(vec![
+            label.to_string(),
+            f1(edgebol_bench::median(&tails)),
+            f3(edgebol_bench::median(&viols)),
+            f1(wall),
+        ]);
+    }
+    table.print();
+    let path = table.write_csv("ablation_window").expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,42 @@
+//! Fig. 2 — service delay vs server power, per resolution, with panels
+//! for airtime ∈ {20%, 50%, 100%}.
+//!
+//! The paper's findings reproduced here: (i) lower airtime inflates delay
+//! at every resolution; (ii) lower-res images *raise* server power (the
+//! closed loop sends frames faster, loading the GPU); (iii) an 80%
+//! increase in airtime improves delay by 65–80%.
+
+use edgebol_bench::sweep::{control, env_usize, measure, RESOLUTIONS};
+use edgebol_bench::{f1, f3, Table};
+use edgebol_testbed::Scenario;
+
+fn main() {
+    let reps = env_usize("EDGEBOL_REPS", 3);
+    let periods = env_usize("EDGEBOL_PERIODS", 5);
+    let scenario = Scenario::single_user(35.0);
+    let mut table = Table::new(
+        "Fig. 2 — delay vs server power per resolution and airtime (DES)",
+        &["airtime", "resolution", "server_power_w", "delay_s"],
+    );
+    for &airtime in &[0.2, 0.5, 1.0] {
+        for &res in &RESOLUTIONS {
+            let p = measure(&scenario, &control(res, airtime, 1.0, 28), reps, periods);
+            table.push_row(vec![f3(airtime), f3(res), f1(p.server_power_w), f3(p.delay_s)]);
+        }
+    }
+    table.print();
+    let path = table.write_csv("fig02_delay_server_power").expect("write csv");
+    println!("wrote {}", path.display());
+
+    let starved = measure(&scenario, &control(1.0, 0.2, 1.0, 28), reps, periods);
+    let free = measure(&scenario, &control(1.0, 1.0, 1.0, 28), reps, periods);
+    println!(
+        "delay improvement from 20% -> 100% airtime at full res: {:.0}%  (paper: 65–80%)",
+        (starved.delay_s - free.delay_s) / starved.delay_s * 100.0
+    );
+    let lo = measure(&scenario, &control(0.25, 1.0, 1.0, 28), reps, periods);
+    println!(
+        "server power increase for 75% resolution cut: {:.0}%  (paper: ~56% for similar shifts)",
+        (lo.server_power_w - free.server_power_w) / free.server_power_w * 100.0
+    );
+}

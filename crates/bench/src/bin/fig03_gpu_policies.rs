@@ -1,0 +1,49 @@
+//! Fig. 3 — service delay (top) and GPU delay (bottom) vs server power,
+//! per resolution, with panels for GPU speed ∈ {10%, 45%, 100%}.
+//!
+//! Airtime is fixed at 100% and the GPU power-limit policy swept. The
+//! paper's observations reproduced: higher GPU speed lowers both delays
+//! and raises power; low-res frames are *harder per image* for the
+//! detector (higher GPU delay) yet their shorter transmission dominates
+//! the end-to-end service delay.
+
+use edgebol_bench::sweep::{control, env_usize, measure, RESOLUTIONS};
+use edgebol_bench::{f1, f3, Table};
+use edgebol_testbed::Scenario;
+
+fn main() {
+    let reps = env_usize("EDGEBOL_REPS", 3);
+    let periods = env_usize("EDGEBOL_PERIODS", 5);
+    let scenario = Scenario::single_user(35.0);
+    let mut table = Table::new(
+        "Fig. 3 — service & GPU delay vs server power per resolution and GPU speed (DES)",
+        &["gpu_speed", "resolution", "server_power_w", "service_delay_s", "gpu_delay_s"],
+    );
+    for &gamma in &[0.1, 0.45, 1.0] {
+        for &res in &RESOLUTIONS {
+            let p = measure(&scenario, &control(res, 1.0, gamma, 28), reps, periods);
+            table.push_row(vec![
+                f3(gamma),
+                f3(res),
+                f1(p.server_power_w),
+                f3(p.delay_s),
+                f3(p.gpu_delay_s),
+            ]);
+        }
+    }
+    table.print();
+    let path = table.write_csv("fig03_gpu_policies").expect("write csv");
+    println!("wrote {}", path.display());
+
+    let slow = measure(&scenario, &control(1.0, 1.0, 0.1, 28), reps, periods);
+    let fast = measure(&scenario, &control(1.0, 1.0, 1.0, 28), reps, periods);
+    println!(
+        "GPU delay ratio at 10% vs 100% speed: {:.2}x  (paper: ~2x)",
+        slow.gpu_delay_s / fast.gpu_delay_s
+    );
+    let lowres = measure(&scenario, &control(0.25, 1.0, 1.0, 28), reps, periods);
+    println!(
+        "per-image GPU delay, 25% vs 100% res: {:.3}s vs {:.3}s  (paper: low-res higher)",
+        lowres.gpu_delay_s, fast.gpu_delay_s
+    );
+}

@@ -1,0 +1,44 @@
+//! Fig. 4 — mAP vs server power for different resolutions, at maximum
+//! radio and compute resources.
+//!
+//! The paper's counter-intuitive result: *higher* precision costs *less*
+//! server power, because high-res frames arrive more slowly in the
+//! closed loop and unload the GPU.
+
+use edgebol_bench::sweep::{control, env_usize, measure, RESOLUTIONS};
+use edgebol_bench::{f1, f3, Table};
+use edgebol_testbed::Scenario;
+
+fn main() {
+    let reps = env_usize("EDGEBOL_REPS", 3);
+    let periods = env_usize("EDGEBOL_PERIODS", 5);
+    let scenario = Scenario::single_user(35.0);
+    let mut table = Table::new(
+        "Fig. 4 — mAP vs server power per resolution (DES)",
+        &["resolution", "server_power_w", "mAP"],
+    );
+    let mut prev: Option<(f64, f64)> = None;
+    for &res in &RESOLUTIONS {
+        let p = measure(&scenario, &control(res, 1.0, 1.0, 28), reps, periods);
+        table.push_row(vec![f3(res), f1(p.server_power_w), f3(p.map)]);
+        if let Some((prev_power, prev_map)) = prev {
+            assert!(
+                p.map > prev_map,
+                "mAP must rise with resolution ({} vs {prev_map})",
+                p.map
+            );
+            // The inversion: power falls as precision rises.
+            if p.server_power_w >= prev_power {
+                eprintln!(
+                    "warning: power did not fall from res step ({prev_power} -> {})",
+                    p.server_power_w
+                );
+            }
+        }
+        prev = Some((p.server_power_w, p.map));
+    }
+    table.print();
+    let path = table.write_csv("fig04_precision_power").expect("write csv");
+    println!("wrote {}", path.display());
+    println!("note: higher mAP should associate with LOWER server power (paper Fig. 4)");
+}

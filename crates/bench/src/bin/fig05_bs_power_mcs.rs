@@ -1,0 +1,45 @@
+//! Fig. 5 — BS (BBU) power vs mean MCS, per resolution, with panels for
+//! airtime ∈ {20%, 50%, 100%}, at nominal (1x) load.
+//!
+//! The paper's finding: at low load, *higher* MCS policies *lower* BS
+//! power — subframes at higher MCS cost more to decode but clear the load
+//! in fewer subframes, which wins over the long run. Airtime (and the
+//! request rate it enables) raises BS power.
+
+use edgebol_bench::sweep::{control, env_usize, measure};
+use edgebol_bench::{f1, f3, Table};
+use edgebol_testbed::Scenario;
+
+fn main() {
+    let reps = env_usize("EDGEBOL_REPS", 3);
+    let periods = env_usize("EDGEBOL_PERIODS", 5);
+    let scenario = Scenario::single_user(35.0);
+    let mut table = Table::new(
+        "Fig. 5 — BS power vs MCS cap per resolution and airtime, 1x load (DES)",
+        &["airtime", "resolution", "mcs_cap", "bs_power_w"],
+    );
+    for &airtime in &[0.2, 0.5, 1.0] {
+        for &res in &[0.25, 1.0] {
+            for &mcs in &[4u8, 8, 12, 16, 20, 24, 28] {
+                let p = measure(&scenario, &control(res, airtime, 1.0, mcs), reps, periods);
+                table.push_row(vec![
+                    f3(airtime),
+                    f3(res),
+                    format!("{mcs}"),
+                    f1(p.bs_power_w),
+                ]);
+            }
+        }
+    }
+    table.print();
+    let path = table.write_csv("fig05_bs_power_mcs").expect("write csv");
+    println!("wrote {}", path.display());
+
+    let low_mcs = measure(&scenario, &control(1.0, 1.0, 1.0, 6), reps, periods);
+    let high_mcs = measure(&scenario, &control(1.0, 1.0, 1.0, 28), reps, periods);
+    println!(
+        "BS power at MCS cap 6 vs 28 (full res/airtime): {:.2} W vs {:.2} W  \
+         (paper: higher MCS -> lower power at 1x load)",
+        low_mcs.bs_power_w, high_mcs.bs_power_w
+    );
+}

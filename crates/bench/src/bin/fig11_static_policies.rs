@@ -1,0 +1,64 @@
+//! Fig. 11 — converged control policies vs δ2 for the three constraint
+//! settings.
+//!
+//! The paper's reading: with lax constraints and small δ2, EdgeBOL throttles
+//! the *server* (low GPU speed) and compensates with resources elsewhere;
+//! as δ2 grows it throttles the *radio* instead. Under stringent
+//! constraints the feasible space shrinks and the policies stay pinned
+//! near max resources regardless of δ2.
+
+use edgebol_bench::sweep::env_usize;
+use edgebol_bench::{f3, run_reps, Table};
+use edgebol_core::agent::EdgeBolAgent;
+use edgebol_core::problem::ProblemSpec;
+use edgebol_testbed::{Calibration, FlowTestbed, Scenario};
+
+fn main() {
+    let reps = env_usize("EDGEBOL_REPS", 3);
+    let periods = env_usize("EDGEBOL_PERIODS", 150);
+    let deltas = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+    let settings = [(0.5, 0.4, "lax"), (0.4, 0.5, "medium"), (0.3, 0.6, "stringent")];
+
+    let mut table = Table::new(
+        "Fig. 11 — converged mean policies (unit coordinates) vs delta2",
+        &["setting", "delta2", "mean_image_res", "mean_airtime", "mean_gpu_speed", "mean_mcs"],
+    );
+
+    for (d_max, rho_min, label) in settings {
+        for &d2 in &deltas {
+            let spec = ProblemSpec::new(1.0, d2, d_max, rho_min);
+            let traces = run_reps(
+                reps,
+                periods,
+                spec,
+                |seed| {
+                    Box::new(FlowTestbed::new(
+                        Calibration::fast(),
+                        Scenario::single_user(35.0),
+                        0xB00 + seed,
+                    ))
+                },
+                |seed| Box::new(EdgeBolAgent::paper(&spec, 0x44 + seed)),
+            );
+            // Median (over reps) of the per-run mean tail control.
+            let mut dims = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+            for t in &traces {
+                let u = t.tail_mean_control(20);
+                for (d, v) in dims.iter_mut().zip(u) {
+                    d.push(v);
+                }
+            }
+            table.push_row(vec![
+                label.to_string(),
+                format!("{d2}"),
+                f3(edgebol_bench::median(&dims[0])),
+                f3(edgebol_bench::median(&dims[1])),
+                f3(edgebol_bench::median(&dims[2])),
+                f3(edgebol_bench::median(&dims[3])),
+            ]);
+        }
+    }
+    table.print();
+    let path = table.write_csv("fig11_static_policies").expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,92 @@
+//! Fig. 12 — empirical optimality gap with multiple heterogeneous users.
+//!
+//! Setup as §6.4: scenarios with N users where user 1 has the best channel
+//! (30 dB mean SNR) and every additional user 20% lower; δ1 = 1 and
+//! δ2 ∈ {1, 2, 4, 8}. EdgeBOL's converged cost is compared to the
+//! exhaustive-search oracle; the paper reports a gap within ~2% and
+//! constraint satisfaction ≈ 0.98.
+//!
+//! The paper picks its constraints "trivially … so the system has a
+//! feasible solution in the worst case (with 6 users)"; on this testbed's
+//! calibration that is d_max = 3 s, ρ_min = 0.55 (six users sharing a
+//! ~11 Mb/s slice need ~2.5 s per frame round-trip at the mAP-mandated
+//! resolutions).
+
+use edgebol_bench::sweep::env_usize;
+use edgebol_bench::{f3, run_reps, Table};
+use edgebol_bandit::{Constraints, ControlGrid, Oracle};
+use edgebol_core::agent::EdgeBolAgent;
+use edgebol_core::problem::ProblemSpec;
+use edgebol_testbed::{Calibration, ControlInput, FlowTestbed, Scenario};
+
+fn main() {
+    let reps = env_usize("EDGEBOL_REPS", 3);
+    let periods = env_usize("EDGEBOL_PERIODS", 300);
+    let user_counts = [2usize, 4, 6];
+    let deltas = [1.0, 2.0, 4.0, 8.0];
+    let (d_max, rho_min) = (3.0, 0.55);
+
+    let grid = ControlGrid::paper();
+    let mut table = Table::new(
+        "Fig. 12 — cost vs number of users: EdgeBOL vs exhaustive oracle",
+        &["users", "delta2", "edgebol_cost", "oracle_cost", "gap_pct", "satisfaction"],
+    );
+
+    for &n in &user_counts {
+        let scenario = Scenario::heterogeneous(n);
+        let snrs: Vec<f64> = (0..n).map(|i| scenario.snr_db(i, 0)).collect();
+        // Noiseless per-control KPIs for the oracle (delta2-independent).
+        let probe = FlowTestbed::new(Calibration::default(), scenario.clone(), 0);
+        let mut map_cache = std::collections::HashMap::new();
+        let kpis: Vec<(f64, f64, f64, f64)> = (0..grid.len())
+            .map(|idx| {
+                let c = grid.coords(idx);
+                let control = ControlInput::from_unit(c[0], c[1], c[2], c[3]);
+                let ss = probe.steady_state(&snrs, &control);
+                let key = (control.resolution * 1000.0).round() as i64;
+                let rho = *map_cache
+                    .entry(key)
+                    .or_insert_with(|| probe.expected_map(control.resolution));
+                (ss.server_power_w, ss.bs_power_w, ss.worst_delay_s(), rho)
+            })
+            .collect();
+
+        for &d2 in &deltas {
+            let spec = ProblemSpec::new(1.0, d2, d_max, rho_min);
+            let traces = run_reps(
+                reps,
+                periods,
+                spec,
+                |seed| {
+                    Box::new(FlowTestbed::new(
+                        Calibration::default(),
+                        scenario.clone(),
+                        0xC00 + seed,
+                    ))
+                },
+                |seed| Box::new(EdgeBolAgent::paper(&spec, 0x55 + seed)),
+            );
+            let costs: Vec<f64> = traces.iter().map(|t| t.tail_mean_cost(20)).collect();
+            let cost = edgebol_bench::median(&costs);
+            let sats: Vec<f64> = traces.iter().map(|t| t.satisfaction_rate(30)).collect();
+            let sat = edgebol_bench::median(&sats);
+
+            let oracle = Oracle::search(&grid, &Constraints { d_max, rho_min }, |idx| {
+                let (ps, pb, d, rho) = kpis[idx];
+                (ps + d2 * pb, d, rho)
+            });
+            let gap = (cost - oracle.best_cost) / oracle.best_cost * 100.0;
+            table.push_row(vec![
+                format!("{n}"),
+                format!("{d2}"),
+                f3(cost),
+                f3(oracle.best_cost),
+                f3(gap),
+                f3(sat),
+            ]);
+        }
+    }
+    table.print();
+    let path = table.write_csv("fig12_heterogeneous_users").expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,61 @@
+//! Fig. 13 — policy evolution under fast context dynamics.
+//!
+//! An *untrained* EdgeBOL is dropped into an environment whose mean SNR
+//! steps between 5 and 38 dB (δ1 = 1, δ2 = 8, medium constraints). The
+//! paper's observations: the safe-set estimate shrinks from the full-grid
+//! prior within ~25 periods and then tracks the context changes; knowledge
+//! transfers across similar contexts so the controller picks sensible
+//! policies even for SNR levels it has not seen.
+
+use edgebol_bench::sweep::env_usize;
+use edgebol_bench::{f3, run_once, Table};
+use edgebol_core::agent::EdgeBolAgent;
+use edgebol_core::problem::ProblemSpec;
+use edgebol_testbed::{Calibration, FlowTestbed, Scenario};
+
+fn main() {
+    let periods = env_usize("EDGEBOL_PERIODS", 150);
+    let spec = ProblemSpec::new(1.0, 8.0, 0.4, 0.5);
+    let scenario = Scenario::dynamic();
+
+    let env = FlowTestbed::new(Calibration::fast(), scenario.clone(), 0xD00);
+    let agent = EdgeBolAgent::paper(&spec, 0x66);
+    let trace = run_once(Box::new(env), Box::new(agent), spec, periods, true, Vec::new());
+
+    let mut table = Table::new(
+        "Fig. 13 — dynamic context: SNR, safe-set size, policies over time (delta2 = 8)",
+        &[
+            "t",
+            "snr_db",
+            "safe_set_size",
+            "image_res",
+            "airtime",
+            "gpu_speed",
+            "mcs",
+            "delay_s",
+            "satisfied",
+        ],
+    );
+    for r in trace.records.iter().step_by(2) {
+        let u = r.control.to_unit();
+        table.push_row(vec![
+            format!("{}", r.t),
+            f3(scenario.snr_db(0, r.t)),
+            format!("{}", r.safe_set_size.unwrap_or(0)),
+            f3(u[0]),
+            f3(u[1]),
+            f3(u[2]),
+            f3(u[3]),
+            f3(r.obs.delay_s),
+            format!("{}", u8::from(r.satisfied)),
+        ]);
+    }
+    table.print();
+    let path = table.write_csv("fig13_dynamic_context").expect("write csv");
+    println!("wrote {}", path.display());
+    println!(
+        "post-warmup satisfaction: {:.3}  (constraints are infeasible during deep fades; \
+         EdgeBOL falls back to S0 there, as §5 'Practical Issues' describes)",
+        trace.satisfaction_rate(25)
+    );
+}

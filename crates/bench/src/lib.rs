@@ -1,0 +1,184 @@
+//! Shared harness for the figure regenerators and Criterion benches.
+//!
+//! Every evaluation figure of the paper has a regeneration binary in
+//! `src/bin/` (see DESIGN.md §4 for the index). Each binary sweeps the
+//! same workloads/parameters as the paper, prints the series as an
+//! aligned table, and writes a CSV under `results/` so the numbers can be
+//! compared against the paper (EXPERIMENTS.md records that comparison).
+
+pub mod sweep;
+
+use edgebol_core::agent::Agent;
+use edgebol_core::orchestrator::Orchestrator;
+use edgebol_core::problem::ProblemSpec;
+use edgebol_core::trace::Trace;
+use edgebol_testbed::Environment;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// A printable/serializable results table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (figure id + description).
+    pub title: String,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Data rows (stringified values).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of already-formatted cells.
+    ///
+    /// # Panics
+    /// Panics if the arity differs from the header.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Writes the table as CSV into `results/<name>.csv` (relative to the
+    /// workspace root when invoked via cargo, the cwd otherwise).
+    pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut s = String::new();
+        let _ = writeln!(s, "{}", self.header.join(","));
+        for row in &self.rows {
+            let _ = writeln!(s, "{}", row.join(","));
+        }
+        fs::write(&path, s)?;
+        Ok(path)
+    }
+}
+
+/// The `results/` directory at the workspace root.
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench -> ../../results
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(m) => PathBuf::from(m).join("../../results"),
+        Err(_) => PathBuf::from("results"),
+    }
+}
+
+/// Formats a float with three significant decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a float with one decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Runs one agent/environment pair for `periods` periods.
+pub fn run_once(
+    env: Box<dyn Environment>,
+    agent: Box<dyn Agent>,
+    spec: ProblemSpec,
+    periods: usize,
+    record_safe_set: bool,
+    schedule: Vec<(usize, f64, f64)>,
+) -> Trace {
+    let mut orch =
+        Orchestrator::new(env, agent, spec).with_constraint_schedule(schedule);
+    orch.record_safe_set = record_safe_set;
+    orch.run(periods)
+}
+
+/// Runs `reps` independent repetitions via the factories, returning all
+/// traces (the paper plots medians and 10/90 percentile bands over 10
+/// repetitions).
+pub fn run_reps(
+    reps: usize,
+    periods: usize,
+    spec: ProblemSpec,
+    mut env_factory: impl FnMut(u64) -> Box<dyn Environment>,
+    mut agent_factory: impl FnMut(u64) -> Box<dyn Agent>,
+) -> Vec<Trace> {
+    (0..reps as u64)
+        .map(|seed| {
+            run_once(env_factory(seed), agent_factory(seed), spec, periods, false, Vec::new())
+        })
+        .collect()
+}
+
+/// Median of a slice (convenience re-export).
+pub fn median(xs: &[f64]) -> f64 {
+    edgebol_linalg::stats::percentile(xs, 0.5)
+}
+
+/// Percentile helper re-export.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    edgebol_linalg::stats::percentile(xs, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_render_and_arity() {
+        let mut t = Table::new("Fig. X", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2.5".into()]);
+        let s = t.render();
+        assert!(s.contains("Fig. X"));
+        assert!(s.contains("2.5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn table_rejects_bad_arity() {
+        let mut t = Table::new("t", &["a"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f1(1.26), "1.3");
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+    }
+}

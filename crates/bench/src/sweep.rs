@@ -1,0 +1,60 @@
+//! Shared DES sweep machinery for the measurement figures (Figs. 1–6).
+
+use edgebol_ran::Mcs;
+use edgebol_testbed::{Calibration, ControlInput, DesTestbed, Environment, PeriodObservation, Scenario};
+
+/// The resolutions the paper's §3 figures sweep (25–100%).
+pub const RESOLUTIONS: [f64; 4] = [0.25, 0.5, 0.75, 1.0];
+
+/// Measurement summary for one configuration point.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    pub delay_s: f64,
+    pub gpu_delay_s: f64,
+    pub map: f64,
+    pub server_power_w: f64,
+    pub bs_power_w: f64,
+}
+
+/// Runs the DES for `reps` independent repetitions of `periods` periods
+/// each (discarding the first warm-up period of each repetition, as the
+/// pipeline starts empty) and returns the per-KPI medians.
+pub fn measure(scenario: &Scenario, control: &ControlInput, reps: usize, periods: usize) -> Point {
+    let mut delays = Vec::new();
+    let mut gpu_delays = Vec::new();
+    let mut maps = Vec::new();
+    let mut server = Vec::new();
+    let mut bs = Vec::new();
+    for rep in 0..reps as u64 {
+        let mut des = DesTestbed::new(Calibration::default(), scenario.clone(), 1000 + rep);
+        for p in 0..periods {
+            let obs: PeriodObservation = des.step(control);
+            if p == 0 {
+                continue; // pipeline fill
+            }
+            delays.push(obs.delay_s);
+            gpu_delays.push(obs.gpu_delay_s);
+            maps.push(obs.map);
+            server.push(obs.server_power_w);
+            bs.push(obs.bs_power_w);
+        }
+    }
+    let med = |v: &[f64]| edgebol_linalg::stats::percentile(v, 0.5);
+    Point {
+        delay_s: med(&delays),
+        gpu_delay_s: med(&gpu_delays),
+        map: med(&maps),
+        server_power_w: med(&server),
+        bs_power_w: med(&bs),
+    }
+}
+
+/// A control with everything maxed except the given overrides.
+pub fn control(resolution: f64, airtime: f64, gpu_speed: f64, mcs_cap: u8) -> ControlInput {
+    ControlInput { resolution, airtime, gpu_speed, mcs_cap: Mcs(mcs_cap) }
+}
+
+/// Reads an env-var override for sweep sizing (`EDGEBOL_REPS`, …).
+pub fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}

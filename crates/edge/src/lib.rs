@@ -1,0 +1,25 @@
+//! GPU edge-server model.
+//!
+//! Replaces the paper's RTX 2080 Ti + Detectron2 server with a behavioural
+//! model of the two things the orchestration problem sees: **inference
+//! latency** and **server power** as functions of the GPU-speed policy
+//! (Policy 3) and the image-resolution policy.
+//!
+//! * [`gpu`] — the Policy 3 knob: a GPU power-management limit (100–280 W,
+//!   the RTX 2080 Ti driver range the paper configures) mapped to an
+//!   effective processing speed with a DVFS-style diminishing-returns
+//!   curve, and a per-image inference-time model in which *lower*
+//!   resolutions are mildly slower per image (the paper's observation that
+//!   "higher-res images ease the work on the GPU", Fig. 3 bottom).
+//! * [`server`] — a FIFO inference queue with busy-time accounting, and
+//!   the server power model: an idle platform floor plus a
+//!   utilization-scaled active-GPU draw bounded by the configured power
+//!   limit. Utilization effects are what produce the paper's
+//!   counter-intuitive Fig. 4: higher-resolution (higher-mAP) traffic
+//!   arrives more slowly in the closed loop, so it *lowers* server power.
+
+pub mod gpu;
+pub mod server;
+
+pub use gpu::{GpuModel, GpuSpeedPolicy};
+pub use server::{InferenceQueue, ServerPowerModel};

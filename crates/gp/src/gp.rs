@@ -1,0 +1,463 @@
+//! Exact GP regression with incremental Cholesky updates.
+
+use crate::{GpError, Kernel};
+use edgebol_linalg::{vecops, Cholesky, Mat};
+
+/// Online exact Gaussian-process regressor.
+///
+/// Implements the posterior of eqs. (3)–(4) of the paper:
+///
+/// * `mu_T(z)  = k_T(z)^T (K_T + zeta^2 I)^{-1} y_T`
+/// * `k_T(z,z') = k(z,z') - k_T(z)^T (K_T + zeta^2 I)^{-1} k_T(z')`
+///
+/// maintained online: each [`observe`](Self::observe) appends one bordered
+/// row/column to the Cholesky factor of `K_T + zeta^2 I` in `O(T^2)`.
+///
+/// Targets are internally centred on their running mean so the zero-mean
+/// prior assumption (`mu := 0`, §5) holds regardless of the physical units
+/// of the observed KPI (watts, seconds, mAP). The centring offset is folded
+/// back into predictions.
+///
+/// An optional **sliding window** (`max_observations`) bounds the cost of
+/// very long runs (e.g., the 3 000-period experiment of Fig. 14): when the
+/// window is full the oldest observation is dropped and the factor rebuilt,
+/// an `O(W^3)` operation on a bounded `W` which in practice is cheaper than
+/// letting `T` grow unboundedly.
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    kernel: Kernel,
+    /// Observation-noise variance `zeta^2`.
+    noise_var: f64,
+    /// Flattened inputs, `len = n * dim`.
+    xs: Vec<f64>,
+    /// Raw (uncentred) targets.
+    ys: Vec<f64>,
+    /// Cholesky factor of `K + zeta^2 I`.
+    chol: Cholesky,
+    /// Cached `alpha = (K + zeta^2 I)^{-1} (y - mean(y))`; rebuilt lazily.
+    alpha: Vec<f64>,
+    alpha_dirty: bool,
+    /// Cached mean of `ys`.
+    y_mean: f64,
+    /// Optional sliding-window capacity.
+    max_observations: Option<usize>,
+}
+
+impl GaussianProcess {
+    /// Creates an empty GP with the given kernel and noise variance.
+    ///
+    /// # Panics
+    /// Panics if `noise_var` is not strictly positive and finite.
+    pub fn new(kernel: Kernel, noise_var: f64) -> Self {
+        assert!(noise_var > 0.0 && noise_var.is_finite(), "noise variance must be positive");
+        GaussianProcess {
+            kernel,
+            noise_var,
+            xs: Vec::new(),
+            ys: Vec::new(),
+            chol: Cholesky::empty(),
+            alpha: Vec::new(),
+            alpha_dirty: false,
+            y_mean: 0.0,
+            max_observations: None,
+        }
+    }
+
+    /// Builder-style: bound the number of retained observations.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0`.
+    pub fn with_max_observations(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "window capacity must be positive");
+        self.max_observations = Some(cap);
+        self
+    }
+
+    /// Number of retained observations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ys.len()
+    }
+
+    /// `true` when no observation has been recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ys.is_empty()
+    }
+
+    /// The kernel in use.
+    #[inline]
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Observation-noise variance `zeta^2`.
+    #[inline]
+    pub fn noise_var(&self) -> f64 {
+        self.noise_var
+    }
+
+    /// Input point `i` of the retained window.
+    #[inline]
+    fn x(&self, i: usize) -> &[f64] {
+        let d = self.kernel.dim();
+        &self.xs[i * d..(i + 1) * d]
+    }
+
+    /// Records one observation `(z, y)` and updates the factorization.
+    ///
+    /// # Errors
+    /// * [`GpError::DimensionMismatch`] when `z.len() != kernel.dim()`.
+    /// * [`GpError::Numerical`] if the bordered factor update fails (cannot
+    ///   happen for `noise_var > 0` with a valid kernel, but is surfaced
+    ///   rather than panicking).
+    pub fn observe(&mut self, z: &[f64], y: f64) -> Result<(), GpError> {
+        if z.len() != self.kernel.dim() {
+            return Err(GpError::DimensionMismatch { expected: self.kernel.dim(), got: z.len() });
+        }
+        if let Some(cap) = self.max_observations {
+            if self.len() == cap {
+                self.evict_oldest()?;
+            }
+        }
+        let n = self.len();
+        let mut cross = Vec::with_capacity(n);
+        for i in 0..n {
+            cross.push(self.kernel.eval(self.x(i), z));
+        }
+        let kappa = self.kernel.prior_var() + self.noise_var;
+        self.chol
+            .append(&cross, kappa)
+            .map_err(|e| GpError::Numerical(e.to_string()))?;
+        self.xs.extend_from_slice(z);
+        self.ys.push(y);
+        self.alpha_dirty = true;
+        Ok(())
+    }
+
+    /// Drops the oldest observation and refactorizes.
+    fn evict_oldest(&mut self) -> Result<(), GpError> {
+        let d = self.kernel.dim();
+        self.xs.drain(..d);
+        self.ys.remove(0);
+        let n = self.len();
+        let mut k = Mat::from_fn(n, n, |i, j| self.kernel.eval(self.x(i), self.x(j)));
+        k.add_diagonal(self.noise_var);
+        self.chol = Cholesky::factor(&k).map_err(|e| GpError::Numerical(e.to_string()))?;
+        self.alpha_dirty = true;
+        Ok(())
+    }
+
+    /// Rebuilds the cached `alpha` vector if observations changed.
+    fn refresh_alpha(&mut self) {
+        if !self.alpha_dirty {
+            return;
+        }
+        self.y_mean = vecops::mean(&self.ys);
+        let centred: Vec<f64> = self.ys.iter().map(|y| y - self.y_mean).collect();
+        self.alpha = if centred.is_empty() { Vec::new() } else { self.chol.solve(&centred) };
+        self.alpha_dirty = false;
+    }
+
+    /// Posterior mean and standard deviation at `z` (eqs. (3)–(4)).
+    ///
+    /// With no observations this returns the prior: mean 0, std
+    /// `sqrt(signal_var)`.
+    ///
+    /// # Panics
+    /// Panics if `z.len() != kernel.dim()`.
+    pub fn predict(&mut self, z: &[f64]) -> (f64, f64) {
+        assert_eq!(z.len(), self.kernel.dim(), "predict: input dimension");
+        if self.is_empty() {
+            return (0.0, self.kernel.prior_var().sqrt());
+        }
+        self.refresh_alpha();
+        let n = self.len();
+        let mut kvec = Vec::with_capacity(n);
+        for i in 0..n {
+            kvec.push(self.kernel.eval(self.x(i), z));
+        }
+        let mean = self.y_mean + vecops::dot(&kvec, &self.alpha);
+        let v = self.chol.half_solve(&kvec);
+        let var = (self.kernel.prior_var() - vecops::dot(&v, &v)).max(0.0);
+        (mean, var.sqrt())
+    }
+
+    /// Batched posterior over many candidate points.
+    ///
+    /// `points` is a flat row-major `(m x dim)` slice. Returns `(means,
+    /// stds)` of length `m`. This is the hot path of the acquisition step:
+    /// the cross-kernel matrix is solved once with a matrix right-hand side
+    /// instead of `m` separate triangular solves.
+    ///
+    /// # Panics
+    /// Panics if `points.len()` is not a multiple of `kernel.dim()`.
+    pub fn predict_batch(&mut self, points: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let d = self.kernel.dim();
+        assert_eq!(points.len() % d, 0, "predict_batch: flat input length");
+        let m = points.len() / d;
+        if self.is_empty() {
+            return (vec![0.0; m], vec![self.kernel.prior_var().sqrt(); m]);
+        }
+        self.refresh_alpha();
+        let n = self.len();
+        // Cross kernel matrix K* with shape (n x m).
+        let kcross = Mat::from_fn(n, m, |i, j| {
+            self.kernel.eval(self.x(i), &points[j * d..(j + 1) * d])
+        });
+        let mut means = vec![0.0; m];
+        for i in 0..n {
+            vecops::axpy(self.alpha[i], kcross.row(i), &mut means);
+        }
+        for mu in &mut means {
+            *mu += self.y_mean;
+        }
+        let v = self.chol.half_solve_mat(&kcross);
+        let prior = self.kernel.prior_var();
+        let mut stds = vec![0.0; m];
+        for i in 0..n {
+            let row = v.row(i);
+            for (s, &vij) in stds.iter_mut().zip(row) {
+                *s += vij * vij;
+            }
+        }
+        for s in &mut stds {
+            *s = (prior - *s).max(0.0).sqrt();
+        }
+        (means, stds)
+    }
+
+    /// Draws one sample of the posterior *marginals* at the given points:
+    /// `f_j ~ N(mu(z_j), sigma^2(z_j))` independently per point.
+    ///
+    /// This is the cheap variant of posterior sampling used by
+    /// Thompson-sampling acquisitions over large candidate sets, where the
+    /// full joint draw (an `m x m` Cholesky) would dominate the period
+    /// budget. Ignoring cross-candidate correlations makes the draw
+    /// *more* explorative, which is benign for an acquisition rule.
+    pub fn sample_marginals<R: rand::Rng + ?Sized>(
+        &mut self,
+        points: &[f64],
+        rng: &mut R,
+    ) -> Vec<f64> {
+        let (means, stds) = self.predict_batch(points);
+        means
+            .into_iter()
+            .zip(stds)
+            .map(|(m, s)| m + s * edgebol_linalg::stats::normal01(rng))
+            .collect()
+    }
+
+    /// Log marginal likelihood of the retained data under the current
+    /// hyperparameters:
+    /// `log p(y|Z) = -1/2 y^T alpha - 1/2 log det(K + zeta^2 I) - n/2 log(2 pi)`.
+    ///
+    /// # Errors
+    /// Returns [`GpError::Empty`] with no observations.
+    pub fn log_marginal_likelihood(&mut self) -> Result<f64, GpError> {
+        if self.is_empty() {
+            return Err(GpError::Empty);
+        }
+        self.refresh_alpha();
+        let centred: Vec<f64> = self.ys.iter().map(|y| y - self.y_mean).collect();
+        let fit = -0.5 * vecops::dot(&centred, &self.alpha);
+        let complexity = -0.5 * self.chol.log_det();
+        let norm = -0.5 * self.len() as f64 * (2.0 * std::f64::consts::PI).ln();
+        Ok(fit + complexity + norm)
+    }
+
+    /// The raw retained observations `(inputs, targets)`; inputs flat
+    /// row-major. Mainly for hyperparameter refitting and tests.
+    pub fn data(&self) -> (&[f64], &[f64]) {
+        (&self.xs, &self.ys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KernelKind;
+
+    fn toy_gp() -> GaussianProcess {
+        GaussianProcess::new(Kernel::matern32(1.0, vec![0.3]), 1e-6)
+    }
+
+    #[test]
+    fn prior_prediction_when_empty() {
+        let mut gp = GaussianProcess::new(Kernel::rbf(4.0, vec![1.0]), 1e-4);
+        let (m, s) = gp.predict(&[0.0]);
+        assert_eq!(m, 0.0);
+        assert!((s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolates_noise_free_data() {
+        let mut gp = toy_gp();
+        let f = |x: f64| (3.0 * x).cos();
+        for i in 0..15 {
+            let x = i as f64 / 14.0;
+            gp.observe(&[x], f(x)).unwrap();
+        }
+        for i in 0..15 {
+            let x = i as f64 / 14.0;
+            let (m, s) = gp.predict(&[x]);
+            assert!((m - f(x)).abs() < 1e-3, "mean off at {x}: {m}");
+            assert!(s < 0.02, "std too large at observed point: {s}");
+        }
+        // In-between points are close too (function is smooth).
+        let (m, _) = gp.predict(&[0.5 + 1.0 / 28.0]);
+        assert!((m - f(0.5 + 1.0 / 28.0)).abs() < 0.05);
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let mut gp = toy_gp();
+        gp.observe(&[0.0], 1.0).unwrap();
+        let (_, s_near) = gp.predict(&[0.05]);
+        let (_, s_far) = gp.predict(&[2.0]);
+        assert!(s_far > s_near);
+        assert!(s_far <= 1.0 + 1e-9, "posterior std cannot exceed prior");
+    }
+
+    #[test]
+    fn rejects_wrong_dimension() {
+        let mut gp = toy_gp();
+        assert!(matches!(
+            gp.observe(&[1.0, 2.0], 0.0),
+            Err(GpError::DimensionMismatch { expected: 1, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn batch_matches_single_predictions() {
+        let mut gp = GaussianProcess::new(Kernel::matern52(2.0, vec![0.4, 0.7]), 1e-3);
+        let pts = [
+            [0.1, 0.2],
+            [0.5, 0.9],
+            [0.8, 0.1],
+            [0.3, 0.4],
+        ];
+        for (i, p) in pts.iter().enumerate() {
+            gp.observe(p, i as f64 * 0.5 - 1.0).unwrap();
+        }
+        let q: Vec<f64> = (0..20).flat_map(|i| vec![i as f64 * 0.05, 1.0 - i as f64 * 0.05]).collect();
+        let (bm, bs) = gp.predict_batch(&q);
+        for j in 0..20 {
+            let (m, s) = gp.predict(&q[j * 2..j * 2 + 2]);
+            assert!((bm[j] - m).abs() < 1e-10, "mean mismatch at {j}");
+            assert!((bs[j] - s).abs() < 1e-10, "std mismatch at {j}");
+        }
+    }
+
+    #[test]
+    fn mean_offset_handles_uncentred_targets() {
+        // Targets near 150 (like server power in watts) must not break the
+        // zero-mean prior assumption.
+        let mut gp = GaussianProcess::new(Kernel::matern32(1.0, vec![0.3]), 1e-4);
+        for i in 0..10 {
+            let x = i as f64 / 9.0;
+            gp.observe(&[x], 150.0 + x).unwrap();
+        }
+        let (m, _) = gp.predict(&[0.5]);
+        assert!((m - 150.5).abs() < 0.1, "{m}");
+        // Far away, prediction decays to the data mean — not to zero.
+        let (m_far, _) = gp.predict(&[100.0]);
+        assert!((m_far - 150.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn sliding_window_evicts_oldest() {
+        let mut gp = toy_gp().with_max_observations(5);
+        for i in 0..12 {
+            gp.observe(&[i as f64], i as f64).unwrap();
+        }
+        assert_eq!(gp.len(), 5);
+        let (xs, ys) = gp.data();
+        assert_eq!(ys, &[7.0, 8.0, 9.0, 10.0, 11.0]);
+        assert_eq!(xs[0], 7.0);
+        // Predictions still sane at a retained point.
+        let (m, _) = gp.predict(&[9.0]);
+        assert!((m - 9.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn noisy_observations_are_smoothed() {
+        let mut gp = GaussianProcess::new(Kernel::matern32(1.0, vec![0.5]), 0.25);
+        // Two conflicting observations at the same point average out.
+        gp.observe(&[0.5], 1.0).unwrap();
+        gp.observe(&[0.5], -1.0).unwrap();
+        let (m, s) = gp.predict(&[0.5]);
+        assert!(m.abs() < 1e-9, "posterior mean should be the average: {m}");
+        assert!(s > 0.1, "noise must keep residual uncertainty");
+    }
+
+    #[test]
+    fn lml_prefers_correct_lengthscale() {
+        // Data from a slowly varying function: a too-short length-scale
+        // should yield lower marginal likelihood than a well-matched one.
+        let f = |x: f64| x; // linear, very smooth
+        let build = |ls: f64| {
+            let mut gp = GaussianProcess::new(Kernel::matern32(1.0, vec![ls]), 1e-4);
+            for i in 0..12 {
+                let x = i as f64 / 11.0;
+                gp.observe(&[x], f(x)).unwrap();
+            }
+            gp
+        };
+        let lml_good = build(1.0).log_marginal_likelihood().unwrap();
+        let lml_bad = build(0.01).log_marginal_likelihood().unwrap();
+        assert!(lml_good > lml_bad, "good {lml_good} vs bad {lml_bad}");
+    }
+
+    #[test]
+    fn lml_requires_data() {
+        let mut gp = toy_gp();
+        assert!(matches!(gp.log_marginal_likelihood(), Err(GpError::Empty)));
+    }
+
+    #[test]
+    fn sample_marginals_statistics_match_posterior() {
+        use rand::SeedableRng;
+        let mut gp = toy_gp();
+        gp.observe(&[0.2], 1.0).unwrap();
+        gp.observe(&[0.8], -1.0).unwrap();
+        let q = [0.5];
+        let (m, s) = gp.predict(&q);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let draws: Vec<f64> = (0..5000).map(|_| gp.sample_marginals(&q, &mut rng)[0]).collect();
+        let mean = edgebol_linalg::vecops::mean(&draws);
+        let std = edgebol_linalg::vecops::variance(&draws).sqrt();
+        assert!((mean - m).abs() < 0.05, "sample mean {mean} vs {m}");
+        assert!((std - s).abs() < 0.05, "sample std {std} vs {s}");
+    }
+
+    #[test]
+    fn incremental_equals_batch_posterior() {
+        // Posterior from incremental appends must match a from-scratch GP
+        // given identical data (validates the bordered Cholesky path).
+        let mut inc = GaussianProcess::new(Kernel::new(KernelKind::Rbf, 1.5, vec![0.4, 0.6]), 1e-3);
+        let data: Vec<([f64; 2], f64)> = (0..20)
+            .map(|i| {
+                let x = [i as f64 * 0.05, (i as f64 * 0.07).fract()];
+                (x, (x[0] * 4.0).sin() + x[1])
+            })
+            .collect();
+        for (x, y) in &data {
+            inc.observe(x, *y).unwrap();
+        }
+        // From-scratch: reuse evict path by forcing a rebuild via window.
+        let mut scratch =
+            GaussianProcess::new(Kernel::new(KernelKind::Rbf, 1.5, vec![0.4, 0.6]), 1e-3)
+                .with_max_observations(20);
+        // Observe one dummy first so the window eviction rebuilds the factor.
+        scratch.observe(&[9.9, 9.9], 0.0).unwrap();
+        for (x, y) in &data {
+            scratch.observe(x, *y).unwrap();
+        }
+        let q = [0.33, 0.77];
+        let (mi, si) = inc.predict(&q);
+        let (ms, ss) = scratch.predict(&q);
+        assert!((mi - ms).abs() < 1e-6, "{mi} vs {ms}");
+        assert!((si - ss).abs() < 1e-6, "{si} vs {ss}");
+    }
+}

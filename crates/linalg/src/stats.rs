@@ -1,0 +1,192 @@
+//! Shared statistical helpers: Gaussian sampling and running moments.
+//!
+//! Several crates in the workspace (the testbed's observation noise, the
+//! neural-network initializers, the media detector model) need standard
+//! normal variates; the approved dependency set does not include
+//! `rand_distr`, so a Box–Muller transform lives here once.
+
+use rand::{Rng, RngExt};
+
+/// Draws one standard-normal variate via the Box–Muller transform.
+///
+/// Uses the polar-free (trigonometric) form; two uniforms per call, one
+/// output. Deterministic given the RNG state.
+pub fn normal01<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard against log(0).
+    let u1: f64 = loop {
+        let v: f64 = rng.random();
+        if v > f64::MIN_POSITIVE {
+            break v;
+        }
+    };
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws a normal variate with the given mean and standard deviation.
+///
+/// # Panics
+/// Panics if `std` is negative or non-finite.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    assert!(std >= 0.0 && std.is_finite(), "std must be non-negative and finite");
+    mean + std * normal01(rng)
+}
+
+/// Welford's online algorithm for mean and variance.
+///
+/// Numerically stable single-pass moments; used by the testbed's
+/// per-period KPI aggregation and by the benches' series summaries.
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Welford { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Feeds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample seen (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample seen (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Percentile of a sample (linear interpolation between closest ranks).
+///
+/// `q` in `[0, 1]`. Returns `NaN` for an empty slice. The input does not
+/// need to be sorted; a sorted copy is made internally.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let mut v: Vec<f64> = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let w = pos - lo as f64;
+        v[lo] * (1.0 - w) + v[hi] * w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal01_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut w = Welford::new();
+        for _ in 0..20_000 {
+            w.push(normal01(&mut rng));
+        }
+        assert!(w.mean().abs() < 0.03, "mean {}", w.mean());
+        assert!((w.std() - 1.0).abs() < 0.03, "std {}", w.std());
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut w = Welford::new();
+        for _ in 0..20_000 {
+            w.push(normal(&mut rng, 10.0, 2.0));
+        }
+        assert!((w.mean() - 10.0).abs() < 0.1);
+        assert!((w.std() - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn normal_zero_std_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(normal(&mut rng, 5.0, 0.0), 5.0);
+    }
+
+    #[test]
+    fn welford_known_values() {
+        let mut w = Welford::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let mut w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        w.push(3.0);
+        assert_eq!(w.mean(), 3.0);
+        assert_eq!(w.variance(), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+        assert!((percentile(&v, 0.5) - 2.5).abs() < 1e-12);
+        assert!(percentile(&[], 0.5).is_nan());
+        // Unsorted input.
+        assert_eq!(percentile(&[4.0, 1.0, 3.0, 2.0], 1.0), 4.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Forward and backward substitution against triangular factors.
+
+use crate::Mat;
+
+/// Solves `L x = b` where `L` is lower-triangular (forward substitution).
+///
+/// Only the lower triangle of `l` is read.
+///
+/// # Panics
+/// Panics if `l` is not square or `b.len() != l.rows()`.
+pub fn solve_lower(l: &Mat, b: &[f64]) -> Vec<f64> {
+    assert!(l.is_square(), "solve_lower: matrix must be square");
+    assert_eq!(b.len(), l.rows(), "solve_lower: rhs length mismatch");
+    let n = l.rows();
+    let mut x = b.to_vec();
+    for i in 0..n {
+        let row = l.row(i);
+        let mut acc = x[i];
+        for j in 0..i {
+            acc -= row[j] * x[j];
+        }
+        x[i] = acc / row[i];
+    }
+    x
+}
+
+/// Solves `L^T x = b` where `L` is lower-triangular (backward substitution
+/// against the transpose).
+///
+/// # Panics
+/// Panics if `l` is not square or `b.len() != l.rows()`.
+pub fn solve_upper(l: &Mat, b: &[f64]) -> Vec<f64> {
+    assert!(l.is_square(), "solve_upper: matrix must be square");
+    assert_eq!(b.len(), l.rows(), "solve_upper: rhs length mismatch");
+    let n = l.rows();
+    let mut x = b.to_vec();
+    for i in (0..n).rev() {
+        let mut acc = x[i];
+        // Traverse column i of L below the diagonal == row i of L^T right of diag.
+        for j in (i + 1)..n {
+            acc -= l[(j, i)] * x[j];
+        }
+        x[i] = acc / l[(i, i)];
+    }
+    x
+}
+
+/// Solves `L X = B` column-wise where `B` is `n x m` (forward substitution
+/// with a matrix right-hand side). Returns an `n x m` matrix.
+///
+/// This is the hot path of batched GP posterior variance evaluation, so the
+/// inner loops run across whole rows of `B` to stay cache-friendly.
+///
+/// # Panics
+/// Panics if `l` is not square or `b.rows() != l.rows()`.
+pub fn solve_lower_mat(l: &Mat, b: &Mat) -> Mat {
+    assert!(l.is_square(), "solve_lower_mat: matrix must be square");
+    assert_eq!(b.rows(), l.rows(), "solve_lower_mat: rhs rows mismatch");
+    let n = l.rows();
+    let m = b.cols();
+    let mut x = b.clone();
+    let mut acc = vec![0.0; m];
+    for i in 0..n {
+        acc.copy_from_slice(x.row(i));
+        // acc -= sum_{j<i} L[i][j] * x.row(j); rows j < i are final.
+        for j in 0..i {
+            let lij = l[(i, j)];
+            if lij == 0.0 {
+                continue;
+            }
+            // Clone-free would need split borrows; the row copy into a local
+            // is cheap relative to the O(n^2 m) arithmetic and keeps the
+            // code entirely safe.
+            let xj: &[f64] = x.row(j);
+            // acc -= lij * xj, written openly so the borrow of x.row(j)
+            // ends before we write acc back below.
+            for (a, &v) in acc.iter_mut().zip(xj) {
+                *a -= lij * v;
+            }
+        }
+        let diag = l[(i, i)];
+        let row = x.row_mut(i);
+        for (r, a) in row.iter_mut().zip(&acc) {
+            *r = a / diag;
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mat;
+
+    fn lower3() -> Mat {
+        Mat::from_rows(&[&[2.0, 0.0, 0.0], &[1.0, 3.0, 0.0], &[4.0, 5.0, 6.0]])
+    }
+
+    #[test]
+    fn forward_substitution() {
+        let l = lower3();
+        let x = solve_lower(&l, &[2.0, 5.0, 32.0]);
+        // Verify by multiplying back.
+        let b = l.matvec(&x);
+        for (bi, want) in b.iter().zip([2.0, 5.0, 32.0]) {
+            assert!((bi - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn backward_substitution() {
+        let l = lower3();
+        let x = solve_upper(&l, &[1.0, 2.0, 3.0]);
+        let lt = l.transpose();
+        let b = lt.matvec(&x);
+        for (bi, want) in b.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((bi - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matrix_rhs_matches_columnwise_vector_solves() {
+        let l = lower3();
+        let b = Mat::from_rows(&[&[1.0, 0.5], &[2.0, -1.0], &[3.0, 2.0]]);
+        let x = solve_lower_mat(&l, &b);
+        for col in 0..2 {
+            let bcol: Vec<f64> = (0..3).map(|r| b[(r, col)]).collect();
+            let xcol = solve_lower(&l, &bcol);
+            for r in 0..3 {
+                assert!(
+                    (x[(r, col)] - xcol[r]).abs() < 1e-12,
+                    "mismatch at ({r},{col})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_solves_are_identity() {
+        let i = Mat::identity(4);
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(solve_lower(&i, &b), b);
+        assert_eq!(solve_upper(&i, &b), b);
+    }
+}

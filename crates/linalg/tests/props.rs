@@ -1,0 +1,111 @@
+//! Property-based tests of the linear-algebra substrate.
+
+use edgebol_linalg::{solve_lower, solve_lower_mat, solve_upper, Cholesky, Mat};
+use proptest::prelude::*;
+
+/// Strategy: a random SPD matrix `G G^T + c I` of size n.
+fn spd(n: usize) -> impl Strategy<Value = Mat> {
+    proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |vals| {
+        let g = Mat::from_vec(n, n, vals);
+        let mut a = g.matmul(&g.transpose());
+        a.add_diagonal(n as f64 * 0.5 + 0.5);
+        a
+    })
+}
+
+proptest! {
+    /// `L L^T` reconstructs `A` for random SPD matrices of several sizes.
+    #[test]
+    fn factor_reconstructs(a in spd(6)) {
+        let ch = Cholesky::factor(&a).unwrap();
+        let r = ch.reconstruct();
+        for i in 0..6 {
+            for j in 0..6 {
+                prop_assert!((a[(i, j)] - r[(i, j)]).abs() < 1e-8);
+            }
+        }
+    }
+
+    /// Incremental appends equal the batch factorization.
+    #[test]
+    fn incremental_append_consistency(a in spd(7)) {
+        let batch = Cholesky::factor(&a).unwrap();
+        let mut inc = Cholesky::empty();
+        for i in 0..7 {
+            let cross: Vec<f64> = (0..i).map(|j| a[(i, j)]).collect();
+            inc.append(&cross, a[(i, i)]).unwrap();
+        }
+        for i in 0..7 {
+            for j in 0..=i {
+                prop_assert!(
+                    (inc.factor_l()[(i, j)] - batch.factor_l()[(i, j)]).abs() < 1e-8
+                );
+            }
+        }
+    }
+
+    /// Triangular solves invert their matrices.
+    #[test]
+    fn triangular_solves_invert(a in spd(5), b in proptest::collection::vec(-5.0f64..5.0, 5)) {
+        let ch = Cholesky::factor(&a).unwrap();
+        let l = ch.factor_l();
+        let y = solve_lower(l, &b);
+        // L y = b
+        let back = Mat::from_fn(5, 5, |i, j| if j <= i { l[(i, j)] } else { 0.0 }).matvec(&y);
+        for (got, want) in back.iter().zip(&b) {
+            prop_assert!((got - want).abs() < 1e-8);
+        }
+        let x = solve_upper(l, &b);
+        let back2 = Mat::from_fn(5, 5, |i, j| if i <= j { l[(j, i)] } else { 0.0 }).matvec(&x);
+        for (got, want) in back2.iter().zip(&b) {
+            prop_assert!((got - want).abs() < 1e-8);
+        }
+    }
+
+    /// Matrix-RHS forward substitution equals column-wise vector solves.
+    #[test]
+    fn matrix_rhs_equals_columnwise(
+        a in spd(5),
+        rhs in proptest::collection::vec(-3.0f64..3.0, 15),
+    ) {
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = Mat::from_vec(5, 3, rhs);
+        let x = solve_lower_mat(ch.factor_l(), &b);
+        for col in 0..3 {
+            let bcol: Vec<f64> = (0..5).map(|r| b[(r, col)]).collect();
+            let want = solve_lower(ch.factor_l(), &bcol);
+            for r in 0..5 {
+                prop_assert!((x[(r, col)] - want[r]).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// log det via Cholesky is consistent with the product of eigenvalue
+    /// surrogates (diagonal squares), and positive-definiteness holds.
+    #[test]
+    fn log_det_finite_and_consistent(a in spd(6)) {
+        let ch = Cholesky::factor(&a).unwrap();
+        let ld = ch.log_det();
+        prop_assert!(ld.is_finite());
+        // det(A) > 0 for SPD.
+        let manual: f64 = (0..6).map(|i| ch.factor_l()[(i, i)].powi(2).ln()).sum();
+        prop_assert!((ld - manual).abs() < 1e-9);
+    }
+
+    /// Mat transpose/matmul identities: (AB)^T = B^T A^T.
+    #[test]
+    fn transpose_of_product(
+        av in proptest::collection::vec(-2.0f64..2.0, 12),
+        bv in proptest::collection::vec(-2.0f64..2.0, 12),
+    ) {
+        let a = Mat::from_vec(3, 4, av);
+        let b = Mat::from_vec(4, 3, bv);
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((left[(i, j)] - right[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+}

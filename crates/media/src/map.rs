@@ -1,0 +1,300 @@
+//! Mean-average-precision evaluator (Performance Indicator 2).
+//!
+//! Implements the full machinery the paper describes: detections are
+//! matched to ground truth per category at IoU ≥ threshold (0.5 in the
+//! paper), greedily in descending score order; precision–recall points are
+//! accumulated; per-class AP is the area under the (all-point interpolated)
+//! PR curve; mAP is the mean AP over categories with ground truth.
+
+use crate::detector::Detection;
+use crate::scene::{Category, Scene};
+
+/// Default IoU threshold for a true positive (the paper uses 0.5).
+pub const DEFAULT_IOU_THRESHOLD: f64 = 0.5;
+
+/// Per-category AP and supporting counts.
+#[derive(Debug, Clone)]
+pub struct MapBreakdown {
+    /// `(category, ap, num_ground_truth)` for every category with GT.
+    pub per_category: Vec<(Category, f64, usize)>,
+    /// The mean of per-category APs (the mAP).
+    pub map: f64,
+}
+
+/// One scored detection flattened across images.
+struct Flat {
+    image: usize,
+    det_index: usize,
+    score: f64,
+}
+
+/// Computes the average precision of one category over a set of images.
+///
+/// `samples` is a slice of `(scene, detections)` pairs; only objects and
+/// detections of `category` are considered. Uses greedy matching in
+/// descending score order (each ground-truth object can match at most one
+/// detection) and all-point interpolation of the PR curve, as in
+/// VOC 2010+ / COCO.
+///
+/// Returns `None` when the category has no ground-truth instance.
+pub fn average_precision(
+    samples: &[(&Scene, &[Detection])],
+    category: Category,
+    iou_threshold: f64,
+) -> Option<f64> {
+    let mut n_gt = 0usize;
+    for (scene, _) in samples {
+        n_gt += scene.objects.iter().filter(|o| o.category == category).count();
+    }
+    if n_gt == 0 {
+        return None;
+    }
+
+    // Flatten and sort detections of this category by score, descending.
+    let mut flat: Vec<Flat> = Vec::new();
+    for (img, (_, dets)) in samples.iter().enumerate() {
+        for (di, d) in dets.iter().enumerate() {
+            if d.category == category {
+                flat.push(Flat { image: img, det_index: di, score: d.score });
+            }
+        }
+    }
+    flat.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+
+    // Greedy matching.
+    let mut matched: Vec<Vec<bool>> = samples
+        .iter()
+        .map(|(scene, _)| vec![false; scene.objects.len()])
+        .collect();
+    let mut tp = Vec::with_capacity(flat.len());
+    for f in &flat {
+        let (scene, dets) = &samples[f.image];
+        let det = &dets[f.det_index];
+        // Best unmatched GT of the same category.
+        let mut best: Option<(usize, f64)> = None;
+        for (gi, gt) in scene.objects.iter().enumerate() {
+            if gt.category != category || matched[f.image][gi] {
+                continue;
+            }
+            let iou = det.bbox.iou(&gt.bbox);
+            if iou >= iou_threshold && best.map_or(true, |(_, b)| iou > b) {
+                best = Some((gi, iou));
+            }
+        }
+        match best {
+            Some((gi, _)) => {
+                matched[f.image][gi] = true;
+                tp.push(true);
+            }
+            None => tp.push(false),
+        }
+    }
+
+    // Precision-recall points.
+    let mut precisions = Vec::with_capacity(tp.len());
+    let mut recalls = Vec::with_capacity(tp.len());
+    let mut n_tp = 0usize;
+    for (i, &is_tp) in tp.iter().enumerate() {
+        if is_tp {
+            n_tp += 1;
+        }
+        precisions.push(n_tp as f64 / (i + 1) as f64);
+        recalls.push(n_tp as f64 / n_gt as f64);
+    }
+
+    // All-point interpolation: make precision monotonically non-increasing
+    // from the right, then integrate over recall.
+    for i in (0..precisions.len().saturating_sub(1)).rev() {
+        if precisions[i] < precisions[i + 1] {
+            precisions[i] = precisions[i + 1];
+        }
+    }
+    let mut ap = 0.0;
+    let mut prev_recall = 0.0;
+    for i in 0..recalls.len() {
+        let dr = recalls[i] - prev_recall;
+        if dr > 0.0 {
+            ap += dr * precisions[i];
+            prev_recall = recalls[i];
+        }
+    }
+    Some(ap)
+}
+
+/// Computes the mAP over all categories present in the ground truth.
+///
+/// Returns 0 when there is no ground truth at all (degenerate input).
+pub fn mean_average_precision(
+    samples: &[(&Scene, &[Detection])],
+    iou_threshold: f64,
+) -> MapBreakdown {
+    let mut per_category = Vec::new();
+    for c in Category::ALL {
+        let n_gt: usize = samples
+            .iter()
+            .map(|(s, _)| s.objects.iter().filter(|o| o.category == c).count())
+            .sum();
+        if n_gt == 0 {
+            continue;
+        }
+        if let Some(ap) = average_precision(samples, c, iou_threshold) {
+            per_category.push((c, ap, n_gt));
+        }
+    }
+    let map = if per_category.is_empty() {
+        0.0
+    } else {
+        per_category.iter().map(|(_, ap, _)| ap).sum::<f64>() / per_category.len() as f64
+    };
+    MapBreakdown { per_category, map }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::{BBox, GroundTruth};
+
+    fn gt(cat: Category, x: f64) -> GroundTruth {
+        GroundTruth { category: cat, bbox: BBox::new(x, 0.0, 10.0, 10.0) }
+    }
+
+    fn det(cat: Category, x: f64, score: f64) -> Detection {
+        Detection { category: cat, bbox: BBox::new(x, 0.0, 10.0, 10.0), score }
+    }
+
+    #[test]
+    fn perfect_detections_give_ap_one() {
+        let scene = Scene {
+            id: 0,
+            objects: vec![gt(Category::Car, 0.0), gt(Category::Car, 100.0)],
+            clutter: 0.0,
+        };
+        let dets = vec![det(Category::Car, 0.0, 0.9), det(Category::Car, 100.0, 0.8)];
+        let ap =
+            average_precision(&[(&scene, &dets)], Category::Car, DEFAULT_IOU_THRESHOLD).unwrap();
+        assert!((ap - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missed_objects_reduce_ap_via_recall() {
+        let scene = Scene {
+            id: 0,
+            objects: vec![gt(Category::Car, 0.0), gt(Category::Car, 100.0)],
+            clutter: 0.0,
+        };
+        // Only one of two objects detected: AP = recall plateau 0.5.
+        let dets = vec![det(Category::Car, 0.0, 0.9)];
+        let ap =
+            average_precision(&[(&scene, &dets)], Category::Car, DEFAULT_IOU_THRESHOLD).unwrap();
+        assert!((ap - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_computed_ap_with_interleaved_fp() {
+        // TP(0.9), FP(0.8), TP(0.7) over 2 GT:
+        // precisions 1, 1/2, 2/3; recalls 0.5, 0.5, 1.0.
+        // All-point interp: AP = 0.5*1 + 0.5*(2/3) = 5/6.
+        let scene = Scene {
+            id: 0,
+            objects: vec![gt(Category::Dog, 0.0), gt(Category::Dog, 100.0)],
+            clutter: 0.0,
+        };
+        let dets = vec![
+            det(Category::Dog, 0.0, 0.9),
+            det(Category::Dog, 300.0, 0.8), // FP: no GT there
+            det(Category::Dog, 100.0, 0.7),
+        ];
+        let ap =
+            average_precision(&[(&scene, &dets)], Category::Dog, DEFAULT_IOU_THRESHOLD).unwrap();
+        assert!((ap - 5.0 / 6.0).abs() < 1e-12, "ap {ap}");
+    }
+
+    #[test]
+    fn duplicate_detections_count_as_fp() {
+        let scene = Scene { id: 0, objects: vec![gt(Category::Car, 0.0)], clutter: 0.0 };
+        // Same GT hit twice: second is an FP (greedy one-to-one matching).
+        let dets = vec![det(Category::Car, 0.0, 0.9), det(Category::Car, 1.0, 0.8)];
+        let ap =
+            average_precision(&[(&scene, &dets)], Category::Car, DEFAULT_IOU_THRESHOLD).unwrap();
+        assert!((ap - 1.0).abs() < 1e-12, "recall reached 1.0 before the FP: ap {ap}");
+        // But if the duplicate outranks the true one, AP drops.
+        let dets2 = vec![det(Category::Car, 6.0, 0.95), det(Category::Car, 0.0, 0.9)];
+        let ap2 =
+            average_precision(&[(&scene, &dets2)], Category::Car, DEFAULT_IOU_THRESHOLD).unwrap();
+        assert!(ap2 < 1.0, "ap2 {ap2}");
+    }
+
+    #[test]
+    fn low_iou_match_is_fp() {
+        let scene = Scene { id: 0, objects: vec![gt(Category::Car, 0.0)], clutter: 0.0 };
+        // Offset 8 of 10 px: IoU = 2/18 < 0.5.
+        let dets = vec![det(Category::Car, 8.0, 0.9)];
+        let ap =
+            average_precision(&[(&scene, &dets)], Category::Car, DEFAULT_IOU_THRESHOLD).unwrap();
+        assert_eq!(ap, 0.0);
+    }
+
+    #[test]
+    fn category_without_gt_is_excluded() {
+        let scene = Scene { id: 0, objects: vec![gt(Category::Car, 0.0)], clutter: 0.0 };
+        let dets: Vec<Detection> = vec![];
+        assert!(average_precision(&[(&scene, &dets)], Category::Dog, 0.5).is_none());
+        let bd = mean_average_precision(&[(&scene, &dets)], 0.5);
+        assert_eq!(bd.per_category.len(), 1);
+        assert_eq!(bd.per_category[0].0, Category::Car);
+    }
+
+    #[test]
+    fn map_is_mean_of_class_aps() {
+        let scene = Scene {
+            id: 0,
+            objects: vec![gt(Category::Car, 0.0), gt(Category::Dog, 100.0)],
+            clutter: 0.0,
+        };
+        // Car found, dog missed: APs 1.0 and 0.0 -> mAP 0.5.
+        let dets = vec![det(Category::Car, 0.0, 0.9)];
+        let bd = mean_average_precision(&[(&scene, &dets)], DEFAULT_IOU_THRESHOLD);
+        assert!((bd.map - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_over_multiple_images_pools_detections() {
+        let s1 = Scene { id: 0, objects: vec![gt(Category::Car, 0.0)], clutter: 0.0 };
+        let s2 = Scene { id: 1, objects: vec![gt(Category::Car, 0.0)], clutter: 0.0 };
+        let d1 = vec![det(Category::Car, 0.0, 0.9)];
+        let d2: Vec<Detection> = vec![];
+        let bd = mean_average_precision(&[(&s1, &d1), (&s2, &d2)], 0.5);
+        // One of two instances found: AP 0.5.
+        assert!((bd.map - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_yields_zero_map() {
+        let bd = mean_average_precision(&[], 0.5);
+        assert_eq!(bd.map, 0.0);
+        assert!(bd.per_category.is_empty());
+    }
+
+    #[test]
+    fn higher_scored_fps_hurt_more() {
+        // FP above all TPs suppresses precision at every recall level.
+        let scene = Scene {
+            id: 0,
+            objects: vec![gt(Category::Car, 0.0), gt(Category::Car, 50.0)],
+            clutter: 0.0,
+        };
+        let fp_low = vec![
+            det(Category::Car, 0.0, 0.9),
+            det(Category::Car, 50.0, 0.8),
+            det(Category::Car, 300.0, 0.1),
+        ];
+        let fp_high = vec![
+            det(Category::Car, 300.0, 0.99),
+            det(Category::Car, 0.0, 0.9),
+            det(Category::Car, 50.0, 0.8),
+        ];
+        let ap_low = average_precision(&[(&scene, &fp_low)], Category::Car, 0.5).unwrap();
+        let ap_high = average_precision(&[(&scene, &fp_high)], Category::Car, 0.5).unwrap();
+        assert!(ap_high < ap_low, "{ap_high} vs {ap_low}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests of the media substrate.
+
+use edgebol_media::scene::{FRAME_HEIGHT, FRAME_WIDTH};
+use edgebol_media::{
+    average_precision, mean_average_precision, BBox, Category, Detection, DetectorModel,
+    EncodeModel, GroundTruth, Scene, SceneGenerator,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_bbox() -> impl Strategy<Value = BBox> {
+    (0.0f64..600.0, 0.0f64..440.0, 1.0f64..200.0, 1.0f64..200.0)
+        .prop_map(|(x, y, w, h)| BBox::new(x, y, w, h))
+}
+
+proptest! {
+    /// IoU is symmetric, in [0, 1], 1 only for identical boxes.
+    #[test]
+    fn iou_axioms(a in arb_bbox(), b in arb_bbox()) {
+        let i = a.iou(&b);
+        prop_assert!((0.0..=1.0).contains(&i));
+        prop_assert!((i - b.iou(&a)).abs() < 1e-12);
+        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-12);
+        if i >= 1.0 - 1e-12 {
+            prop_assert!((a.x - b.x).abs() < 1e-6 && (a.w - b.w).abs() < 1e-6);
+        }
+    }
+
+    /// AP is a probability; matching every ground truth perfectly gives 1.
+    #[test]
+    fn ap_bounds(n in 1usize..6) {
+        let objects: Vec<GroundTruth> = (0..n)
+            .map(|i| GroundTruth {
+                category: Category::Car,
+                bbox: BBox::new(i as f64 * 60.0, 10.0, 40.0, 40.0),
+            })
+            .collect();
+        let scene = Scene { id: 0, objects: objects.clone(), clutter: 0.0 };
+        let dets: Vec<Detection> = objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| Detection {
+                category: Category::Car,
+                bbox: o.bbox,
+                score: 0.9 - i as f64 * 0.01,
+            })
+            .collect();
+        let ap = average_precision(&[(&scene, &dets)], Category::Car, 0.5).unwrap();
+        prop_assert!((ap - 1.0).abs() < 1e-12);
+    }
+
+    /// Adding false positives can only lower (never raise) the mAP.
+    #[test]
+    fn fps_never_help(seed in 0u64..100, n_fp in 1usize..6) {
+        let gen = SceneGenerator::default();
+        let scene = gen.generate(0, &mut SmallRng::seed_from_u64(seed));
+        let det = DetectorModel::default();
+        let dets = det.detect(&scene, 0.8, &mut SmallRng::seed_from_u64(seed ^ 1));
+        let base = mean_average_precision(&[(&scene, &dets)], 0.5).map;
+        let mut with_fp = dets.clone();
+        for i in 0..n_fp {
+            with_fp.push(Detection {
+                category: Category::Tv,
+                bbox: BBox::new(600.0, 400.0, 30.0, 30.0),
+                score: 0.99 - i as f64 * 0.001,
+            });
+        }
+        let worse = mean_average_precision(&[(&scene, &with_fp)], 0.5).map;
+        prop_assert!(worse <= base + 1e-9, "FPs raised mAP: {worse} > {base}");
+    }
+
+    /// Encoded bytes are monotone in resolution and pixel-proportional.
+    #[test]
+    fn encode_monotone(r1 in 0.05f64..0.95) {
+        let m = EncodeModel::default();
+        let r2 = (r1 + 0.05).min(1.0);
+        prop_assert!(m.encode(r2).bytes > m.encode(r1).bytes);
+        prop_assert!(m.encode(r1).preproc_s < m.encode(r2).preproc_s + 1e-12);
+    }
+
+    /// Detection probability is monotone in both resolution and size, and
+    /// bounded by the category ceiling.
+    #[test]
+    fn detector_probability_monotone(
+        res in 0.1f64..0.9,
+        size in 10.0f64..300.0,
+    ) {
+        let d = DetectorModel::default();
+        for c in Category::ALL {
+            let p = d.detection_probability(c, size, res);
+            prop_assert!((0.0..=c.detectability()).contains(&p));
+            prop_assert!(d.detection_probability(c, size, res + 0.1) >= p - 1e-12);
+            prop_assert!(d.detection_probability(c, size + 20.0, res) >= p - 1e-12);
+        }
+    }
+
+    /// Generated scenes always have in-frame, positive-size objects.
+    #[test]
+    fn scenes_are_well_formed(seed in 0u64..300) {
+        let gen = SceneGenerator::default();
+        let s = gen.generate(seed, &mut SmallRng::seed_from_u64(seed));
+        prop_assert!(!s.objects.is_empty());
+        prop_assert!((0.0..=1.0).contains(&s.clutter));
+        for o in &s.objects {
+            prop_assert!(o.bbox.w > 0.0 && o.bbox.h > 0.0);
+            prop_assert!(o.bbox.x >= 0.0 && o.bbox.x + o.bbox.w <= FRAME_WIDTH + 1e-9);
+            prop_assert!(o.bbox.y >= 0.0 && o.bbox.y + o.bbox.h <= FRAME_HEIGHT + 1e-9);
+        }
+    }
+
+    /// The evaluator never credits detections of the wrong category.
+    #[test]
+    fn wrong_category_never_matches(seed in 0u64..100) {
+        let scene = Scene {
+            id: 0,
+            objects: vec![GroundTruth {
+                category: Category::Dog,
+                bbox: BBox::new(100.0, 100.0, 50.0, 50.0),
+            }],
+            clutter: 0.0,
+        };
+        // Perfect box, wrong class.
+        let dets = vec![Detection {
+            category: Category::Car,
+            bbox: BBox::new(100.0, 100.0, 50.0, 50.0),
+            score: 0.9 + (seed as f64 % 10.0) * 0.001,
+        }];
+        let ap = average_precision(&[(&scene, &dets)], Category::Dog, 0.5).unwrap();
+        prop_assert_eq!(ap, 0.0);
+    }
+}

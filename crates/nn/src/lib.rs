@@ -1,0 +1,47 @@
+//! Minimal neural-network substrate for the DDPG benchmark.
+//!
+//! The paper compares EdgeBOL against a deep deterministic policy gradient
+//! (DDPG) agent "implemented with neural networks" (§6.5, Fig. 14), adapted
+//! from vrAIn. Reproducing that benchmark from scratch requires a small but
+//! complete deep-learning stack:
+//!
+//! * [`Mlp`] — fully-connected networks with ReLU/Tanh/Sigmoid/linear
+//!   activations, exact reverse-mode gradients for both parameters **and
+//!   inputs** (the input gradient is what the DDPG actor update needs:
+//!   `∇_a Q(s, a)`).
+//! * [`Adam`] — the Adam optimizer with bias correction.
+//! * [`ReplayBuffer`] — a fixed-capacity ring buffer with uniform sampling.
+//! * [`soft_update`] — Polyak averaging for target networks.
+//!
+//! The stack is deliberately scalar-`f64`, allocation-conscious and fully
+//! deterministic given an RNG seed; the networks involved (a few thousand
+//! parameters) do not justify SIMD/GPU machinery.
+//!
+//! # Example
+//!
+//! ```
+//! use edgebol_nn::{Activation, Adam, Mlp};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // Fit y = 2x - 1 with a tiny network.
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let mut net = Mlp::new(&[1, 16, 1], Activation::Relu, Activation::Identity, &mut rng);
+//! let mut opt = Adam::new(net.param_count(), 1e-2);
+//! for step in 0..600 {
+//!     let x = (step % 20) as f64 / 10.0 - 1.0;
+//!     let (y, cache) = net.forward_train(&[x]);
+//!     let err = y[0] - (2.0 * x - 1.0);
+//!     let (grads, _) = net.backward(&cache, &[2.0 * err]);
+//!     opt.step(net.params_mut(), &grads);
+//! }
+//! let y = net.forward(&[0.25]);
+//! assert!((y[0] - (-0.5)).abs() < 0.15);
+//! ```
+
+mod adam;
+mod mlp;
+mod replay;
+
+pub use adam::Adam;
+pub use mlp::{soft_update, Activation, ForwardCache, Mlp};
+pub use replay::ReplayBuffer;

@@ -1,0 +1,405 @@
+//! Fully-connected networks with exact reverse-mode gradients.
+
+use edgebol_linalg::stats::normal;
+use rand::Rng;
+
+/// Element-wise activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// `max(0, x)`.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid — used for the DDPG actor output so that actions
+    /// land in `[0, 1]^4` (the paper adds "a sigmoid function for the
+    /// actor's output", §6.5).
+    Sigmoid,
+    /// Identity (linear output).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation.
+    #[inline]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative expressed in terms of the pre-activation `x`.
+    #[inline]
+    pub fn derivative(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Sigmoid => {
+                let s = 1.0 / (1.0 + (-x).exp());
+                s * (1.0 - s)
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+/// Activations and pre-activations recorded during a training forward pass;
+/// consumed by [`Mlp::backward`].
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    /// `inputs[l]` is the input fed to layer `l` (so `inputs[0]` is the
+    /// network input).
+    inputs: Vec<Vec<f64>>,
+    /// `zs[l]` is the pre-activation output of layer `l`.
+    zs: Vec<Vec<f64>>,
+}
+
+/// A multilayer perceptron with a single flat parameter vector.
+///
+/// Parameters are stored contiguously — layer 0 weights (row-major,
+/// `out x in`), layer 0 biases, layer 1 weights, … — so the optimizer
+/// ([`crate::Adam`]) can treat the whole network as one array.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    /// Layer widths, e.g. `[7, 64, 64, 4]`.
+    sizes: Vec<usize>,
+    hidden_act: Activation,
+    out_act: Activation,
+    params: Vec<f64>,
+}
+
+impl Mlp {
+    /// Creates a network with the given layer sizes, He/Xavier-style
+    /// initialization (scaled normal weights, zero biases).
+    ///
+    /// # Panics
+    /// Panics if fewer than two sizes are given or any size is zero.
+    pub fn new<R: Rng + ?Sized>(
+        sizes: &[usize],
+        hidden_act: Activation,
+        out_act: Activation,
+        rng: &mut R,
+    ) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        let mut params = Vec::new();
+        for l in 0..sizes.len() - 1 {
+            let fan_in = sizes[l];
+            let fan_out = sizes[l + 1];
+            // He init for ReLU hidden layers, Xavier otherwise.
+            let scale = match hidden_act {
+                Activation::Relu => (2.0 / fan_in as f64).sqrt(),
+                _ => (1.0 / fan_in as f64).sqrt(),
+            };
+            for _ in 0..fan_in * fan_out {
+                params.push(normal(rng, 0.0, scale));
+            }
+            params.extend(std::iter::repeat(0.0).take(fan_out));
+        }
+        Mlp { sizes: sizes.to_vec(), hidden_act, out_act, params }
+    }
+
+    /// Number of layers (weight matrices).
+    #[inline]
+    pub fn num_layers(&self) -> usize {
+        self.sizes.len() - 1
+    }
+
+    /// Input dimensionality.
+    #[inline]
+    pub fn input_dim(&self) -> usize {
+        self.sizes[0]
+    }
+
+    /// Output dimensionality.
+    #[inline]
+    pub fn output_dim(&self) -> usize {
+        *self.sizes.last().unwrap()
+    }
+
+    /// Total number of parameters.
+    #[inline]
+    pub fn param_count(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Immutable view of the flat parameter vector.
+    #[inline]
+    pub fn params(&self) -> &[f64] {
+        &self.params
+    }
+
+    /// Mutable view of the flat parameter vector (for the optimizer).
+    #[inline]
+    pub fn params_mut(&mut self) -> &mut [f64] {
+        &mut self.params
+    }
+
+    /// Offset of layer `l`'s weights within the flat vector.
+    fn layer_offset(&self, l: usize) -> usize {
+        let mut off = 0;
+        for i in 0..l {
+            off += self.sizes[i] * self.sizes[i + 1] + self.sizes[i + 1];
+        }
+        off
+    }
+
+    /// Activation used at layer `l`.
+    fn act(&self, l: usize) -> Activation {
+        if l == self.num_layers() - 1 {
+            self.out_act
+        } else {
+            self.hidden_act
+        }
+    }
+
+    /// Inference forward pass.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.input_dim()`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.input_dim(), "forward: input size");
+        let mut a = x.to_vec();
+        for l in 0..self.num_layers() {
+            a = self.layer_forward(l, &a).1;
+        }
+        a
+    }
+
+    /// Forward pass of one layer; returns `(z, activation(z))`.
+    fn layer_forward(&self, l: usize, input: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let fan_in = self.sizes[l];
+        let fan_out = self.sizes[l + 1];
+        let off = self.layer_offset(l);
+        let w = &self.params[off..off + fan_in * fan_out];
+        let b = &self.params[off + fan_in * fan_out..off + fan_in * fan_out + fan_out];
+        let act = self.act(l);
+        let mut z = Vec::with_capacity(fan_out);
+        for o in 0..fan_out {
+            let row = &w[o * fan_in..(o + 1) * fan_in];
+            z.push(edgebol_linalg::vecops::dot(row, input) + b[o]);
+        }
+        let a = z.iter().map(|&v| act.apply(v)).collect();
+        (z, a)
+    }
+
+    /// Forward pass that records the cache needed by [`Self::backward`].
+    pub fn forward_train(&self, x: &[f64]) -> (Vec<f64>, ForwardCache) {
+        assert_eq!(x.len(), self.input_dim(), "forward_train: input size");
+        let mut inputs = Vec::with_capacity(self.num_layers());
+        let mut zs = Vec::with_capacity(self.num_layers());
+        let mut a = x.to_vec();
+        for l in 0..self.num_layers() {
+            inputs.push(a.clone());
+            let (z, out) = self.layer_forward(l, &a);
+            zs.push(z);
+            a = out;
+        }
+        (a, ForwardCache { inputs, zs })
+    }
+
+    /// Reverse-mode pass. `grad_out` is `dL/dy` at the network output.
+    ///
+    /// Returns `(parameter gradient, input gradient)`; the parameter
+    /// gradient is flat and aligned with [`Self::params`], and the input
+    /// gradient `dL/dx` is what DDPG's deterministic policy-gradient chain
+    /// rule needs.
+    ///
+    /// # Panics
+    /// Panics if `grad_out.len() != self.output_dim()`.
+    pub fn backward(&self, cache: &ForwardCache, grad_out: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        assert_eq!(grad_out.len(), self.output_dim(), "backward: grad size");
+        let mut grads = vec![0.0; self.params.len()];
+        let mut delta: Vec<f64> = grad_out.to_vec();
+        for l in (0..self.num_layers()).rev() {
+            let fan_in = self.sizes[l];
+            let fan_out = self.sizes[l + 1];
+            let off = self.layer_offset(l);
+            let act = self.act(l);
+            // delta <- dL/dz_l = dL/da_l * act'(z_l)
+            for (d, &z) in delta.iter_mut().zip(&cache.zs[l]) {
+                *d *= act.derivative(z);
+            }
+            let input = &cache.inputs[l];
+            // Parameter grads.
+            for o in 0..fan_out {
+                let d = delta[o];
+                let wrow = &mut grads[off + o * fan_in..off + (o + 1) * fan_in];
+                for (g, &inp) in wrow.iter_mut().zip(input) {
+                    *g += d * inp;
+                }
+                grads[off + fan_in * fan_out + o] += d;
+            }
+            // Input grad for the next (earlier) layer: W^T delta.
+            let w = &self.params[off..off + fan_in * fan_out];
+            let mut prev = vec![0.0; fan_in];
+            for o in 0..fan_out {
+                let d = delta[o];
+                let row = &w[o * fan_in..(o + 1) * fan_in];
+                for (p, &wv) in prev.iter_mut().zip(row) {
+                    *p += d * wv;
+                }
+            }
+            delta = prev;
+        }
+        let input_grad = delta;
+        (grads, input_grad)
+    }
+}
+
+/// Polyak (soft) target-network update:
+/// `target <- tau * source + (1 - tau) * target`.
+///
+/// # Panics
+/// Panics if the two networks have different parameter counts or
+/// `tau` is outside `[0, 1]`.
+pub fn soft_update(target: &mut Mlp, source: &Mlp, tau: f64) {
+    assert!((0.0..=1.0).contains(&tau), "tau must be in [0,1]");
+    assert_eq!(target.param_count(), source.param_count(), "network shape mismatch");
+    for (t, &s) in target.params_mut().iter_mut().zip(source.params()) {
+        *t = tau * s + (1.0 - tau) * *t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn activations_and_derivatives() {
+        assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert_eq!(Activation::Relu.derivative(-1.0), 0.0);
+        assert_eq!(Activation::Relu.derivative(1.0), 1.0);
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-12);
+        assert!((Activation::Sigmoid.derivative(0.0) - 0.25).abs() < 1e-12);
+        assert!((Activation::Tanh.derivative(0.0) - 1.0).abs() < 1e-12);
+        assert_eq!(Activation::Identity.apply(3.5), 3.5);
+        assert_eq!(Activation::Identity.derivative(-7.0), 1.0);
+    }
+
+    #[test]
+    fn shapes_and_param_count() {
+        let net = Mlp::new(&[3, 5, 2], Activation::Relu, Activation::Identity, &mut rng());
+        // (3*5 + 5) + (5*2 + 2) = 20 + 12 = 32.
+        assert_eq!(net.param_count(), 32);
+        assert_eq!(net.input_dim(), 3);
+        assert_eq!(net.output_dim(), 2);
+        assert_eq!(net.forward(&[0.1, 0.2, 0.3]).len(), 2);
+    }
+
+    #[test]
+    fn forward_train_matches_forward() {
+        let net = Mlp::new(&[4, 8, 3], Activation::Tanh, Activation::Sigmoid, &mut rng());
+        let x = [0.5, -0.2, 0.9, 0.0];
+        let y1 = net.forward(&x);
+        let (y2, _) = net.forward_train(&x);
+        assert_eq!(y1, y2);
+        // Sigmoid output stays in (0, 1).
+        assert!(y1.iter().all(|&v| v > 0.0 && v < 1.0));
+    }
+
+    /// Central-difference check of both parameter and input gradients.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut net = Mlp::new(&[3, 6, 2], Activation::Tanh, Activation::Identity, &mut rng());
+        let x = [0.3, -0.7, 0.1];
+        // Loss: L = sum(y^2) / 2  =>  dL/dy = y.
+        let loss = |net: &Mlp, x: &[f64]| -> f64 {
+            net.forward(x).iter().map(|v| v * v).sum::<f64>() / 2.0
+        };
+        let (y, cache) = net.forward_train(&x);
+        let (grads, input_grad) = net.backward(&cache, &y);
+
+        let eps = 1e-6;
+        for pi in (0..net.param_count()).step_by(7) {
+            let orig = net.params()[pi];
+            net.params_mut()[pi] = orig + eps;
+            let lp = loss(&net, &x);
+            net.params_mut()[pi] = orig - eps;
+            let lm = loss(&net, &x);
+            net.params_mut()[pi] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grads[pi]).abs() < 1e-6,
+                "param {pi}: fd {fd} vs analytic {}",
+                grads[pi]
+            );
+        }
+        for xi in 0..3 {
+            let mut xp = x;
+            xp[xi] += eps;
+            let mut xm = x;
+            xm[xi] -= eps;
+            let fd = (loss(&net, &xp) - loss(&net, &xm)) / (2.0 * eps);
+            assert!(
+                (fd - input_grad[xi]).abs() < 1e-6,
+                "input {xi}: fd {fd} vs analytic {}",
+                input_grad[xi]
+            );
+        }
+    }
+
+    #[test]
+    fn relu_gradient_matches_finite_differences_off_kink() {
+        let mut net = Mlp::new(&[2, 10, 1], Activation::Relu, Activation::Identity, &mut rng());
+        let x = [0.42, -0.1337];
+        let loss = |net: &Mlp, x: &[f64]| net.forward(x)[0];
+        let (_, cache) = net.forward_train(&x);
+        let (grads, _) = net.backward(&cache, &[1.0]);
+        let eps = 1e-6;
+        let mut checked = 0;
+        for pi in 0..net.param_count() {
+            let orig = net.params()[pi];
+            net.params_mut()[pi] = orig + eps;
+            let lp = loss(&net, &x);
+            net.params_mut()[pi] = orig - eps;
+            let lm = loss(&net, &x);
+            net.params_mut()[pi] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            // Skip parameters sitting exactly on a ReLU kink.
+            if (fd - grads[pi]).abs() < 1e-5 {
+                checked += 1;
+            }
+        }
+        assert!(checked as f64 >= net.param_count() as f64 * 0.95, "{checked} ok");
+    }
+
+    #[test]
+    fn soft_update_interpolates() {
+        let mut r = rng();
+        let a = Mlp::new(&[2, 3, 1], Activation::Relu, Activation::Identity, &mut r);
+        let mut b = Mlp::new(&[2, 3, 1], Activation::Relu, Activation::Identity, &mut r);
+        let before = b.params().to_vec();
+        soft_update(&mut b, &a, 0.25);
+        for ((bv, &av), &old) in b.params().iter().zip(a.params()).zip(&before) {
+            assert!((bv - (0.25 * av + 0.75 * old)).abs() < 1e-12);
+        }
+        // tau = 1 copies exactly.
+        soft_update(&mut b, &a, 1.0);
+        assert_eq!(b.params(), a.params());
+    }
+
+    #[test]
+    #[should_panic(expected = "layer sizes must be positive")]
+    fn rejects_zero_width_layer() {
+        let _ = Mlp::new(&[2, 0, 1], Activation::Relu, Activation::Identity, &mut rng());
+    }
+}

@@ -1,0 +1,115 @@
+//! Fixed-capacity experience replay with uniform sampling.
+
+use rand::{Rng, RngExt};
+
+/// A ring buffer of transitions for off-policy learning.
+///
+/// Once full, new items overwrite the oldest ones. Sampling is uniform
+/// with replacement, which is the standard choice for DDPG.
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer<T> {
+    buf: Vec<T>,
+    cap: usize,
+    /// Next write position once the buffer is full.
+    head: usize,
+}
+
+impl<T: Clone> ReplayBuffer<T> {
+    /// Creates a buffer that retains at most `cap` items.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0`.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "replay capacity must be positive");
+        ReplayBuffer { buf: Vec::with_capacity(cap.min(4096)), cap, head: 0 }
+    }
+
+    /// Number of retained items.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Retention capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Stores one transition, evicting the oldest when full.
+    pub fn push(&mut self, item: T) {
+        if self.buf.len() < self.cap {
+            self.buf.push(item);
+        } else {
+            self.buf[self.head] = item;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    /// Uniformly samples `n` items (with replacement).
+    ///
+    /// Returns an empty vector when the buffer is empty.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<T> {
+        if self.buf.is_empty() {
+            return Vec::new();
+        }
+        (0..n).map(|_| self.buf[rng.random_range(0..self.buf.len())].clone()).collect()
+    }
+
+    /// Iterates over the retained items in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fills_then_wraps() {
+        let mut rb = ReplayBuffer::new(3);
+        assert!(rb.is_empty());
+        for i in 0..5 {
+            rb.push(i);
+        }
+        assert_eq!(rb.len(), 3);
+        let mut kept: Vec<i32> = rb.iter().copied().collect();
+        kept.sort_unstable();
+        assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn sample_draws_only_stored_items() {
+        let mut rb = ReplayBuffer::new(10);
+        for i in 0..4 {
+            rb.push(i);
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = rb.sample(&mut rng, 100);
+        assert_eq!(s.len(), 100);
+        assert!(s.iter().all(|v| (0..4).contains(v)));
+        // All four items appear in a large sample.
+        for i in 0..4 {
+            assert!(s.contains(&i), "item {i} never sampled");
+        }
+    }
+
+    #[test]
+    fn sample_empty_returns_empty() {
+        let rb: ReplayBuffer<u8> = ReplayBuffer::new(5);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(rb.sample(&mut rng, 10).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "replay capacity must be positive")]
+    fn rejects_zero_capacity() {
+        let _: ReplayBuffer<u8> = ReplayBuffer::new(0);
+    }
+}

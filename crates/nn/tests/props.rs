@@ -1,0 +1,94 @@
+//! Property-based tests of the neural substrate.
+
+use edgebol_nn::{soft_update, Activation, Adam, Mlp, ReplayBuffer};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Analytic parameter gradients match central differences for random
+    /// tanh networks and random inputs.
+    #[test]
+    fn gradients_match_finite_differences(
+        seed in 0u64..200,
+        x in proptest::collection::vec(-1.0f64..1.0, 3),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut net = Mlp::new(&[3, 5, 2], Activation::Tanh, Activation::Identity, &mut rng);
+        let (y, cache) = net.forward_train(&x);
+        let (grads, input_grad) = net.backward(&cache, &y); // L = |y|^2 / 2
+        let loss = |n: &Mlp, x: &[f64]| n.forward(x).iter().map(|v| v * v).sum::<f64>() / 2.0;
+        let eps = 1e-6;
+        for pi in (0..net.param_count()).step_by(5) {
+            let orig = net.params()[pi];
+            net.params_mut()[pi] = orig + eps;
+            let lp = loss(&net, &x);
+            net.params_mut()[pi] = orig - eps;
+            let lm = loss(&net, &x);
+            net.params_mut()[pi] = orig;
+            prop_assert!(((lp - lm) / (2.0 * eps) - grads[pi]).abs() < 1e-5);
+        }
+        for xi in 0..3 {
+            let mut xp = x.clone();
+            xp[xi] += eps;
+            let mut xm = x.clone();
+            xm[xi] -= eps;
+            let fd = (loss(&net, &xp) - loss(&net, &xm)) / (2.0 * eps);
+            prop_assert!((fd - input_grad[xi]).abs() < 1e-5);
+        }
+    }
+
+    /// Sigmoid outputs always live strictly inside (0, 1).
+    #[test]
+    fn sigmoid_head_bounded(seed in 0u64..100, x in proptest::collection::vec(-5.0f64..5.0, 4)) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let net = Mlp::new(&[4, 8, 3], Activation::Relu, Activation::Sigmoid, &mut rng);
+        let y = net.forward(&x);
+        prop_assert!(y.iter().all(|&v| v > 0.0 && v < 1.0));
+    }
+
+    /// Adam with any positive learning rate reduces a convex quadratic.
+    #[test]
+    fn adam_descends_quadratic(lr in 0.001f64..0.5, x0 in -10.0f64..10.0) {
+        let mut x = vec![x0];
+        let mut opt = Adam::new(1, lr);
+        let f = |x: f64| (x - 1.0) * (x - 1.0);
+        let before = f(x[0]);
+        for _ in 0..200 {
+            let g = vec![2.0 * (x[0] - 1.0)];
+            opt.step(&mut x, &g);
+        }
+        prop_assert!(f(x[0]) <= before + 1e-12, "ascended: {} -> {}", before, f(x[0]));
+    }
+
+    /// Soft update with tau keeps parameters between source and target.
+    #[test]
+    fn soft_update_is_convex_combination(tau in 0.0f64..=1.0, seed in 0u64..50) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let src = Mlp::new(&[2, 4, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let mut dst = Mlp::new(&[2, 4, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let old: Vec<f64> = dst.params().to_vec();
+        soft_update(&mut dst, &src, tau);
+        for ((d, &s), &o) in dst.params().iter().zip(src.params()).zip(&old) {
+            let lo = s.min(o) - 1e-12;
+            let hi = s.max(o) + 1e-12;
+            prop_assert!(*d >= lo && *d <= hi);
+        }
+    }
+
+    /// Replay buffer: capacity respected, sampling only returns stored
+    /// values, retained set is the most recent suffix.
+    #[test]
+    fn replay_semantics(cap in 1usize..20, n in 0usize..60, seed in 0u64..20) {
+        let mut rb = ReplayBuffer::new(cap);
+        for i in 0..n {
+            rb.push(i);
+        }
+        prop_assert_eq!(rb.len(), n.min(cap));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for v in rb.sample(&mut rng, 32) {
+            prop_assert!(v < n, "sampled a value never pushed");
+            prop_assert!(n <= cap || v >= n - cap, "sampled an evicted value");
+        }
+    }
+}

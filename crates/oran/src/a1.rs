@@ -1,0 +1,125 @@
+//! A1-P policy documents (O-RAN.WG2.A1AP style).
+
+use serde::{Deserialize, Serialize};
+
+/// The policy type id this workspace registers for its radio policy
+/// (policy types are operator-assigned integers in A1).
+pub const A1_POLICY_TYPE_RADIO: u32 = 20_008;
+
+/// Identifier of a deployed policy instance.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PolicyId(pub String);
+
+/// The radio policy content EdgeBOL deploys through A1: the two §3
+/// policies the vBS must respect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadioPolicy {
+    /// Policy 2 — uplink airtime fraction in (0, 1].
+    pub airtime: f64,
+    /// Policy 4 — maximum eligible MCS index (0..=28).
+    pub max_mcs: u8,
+}
+
+/// Lifecycle status of a policy instance (A1 policy feedback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyStatus {
+    /// Accepted and being enforced.
+    Enforced,
+    /// Rejected (malformed or unenforceable).
+    Rejected,
+    /// Deleted on request.
+    Deleted,
+}
+
+/// Messages of the A1 Policy Management Service (plus the KPI stream the
+/// data-collector rApp consumes via the O1/data path, which we carry on
+/// the same duplex for simplicity).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "msg")]
+pub enum A1Message {
+    /// non-RT RIC → near-RT RIC: create/update a policy instance.
+    PutPolicy {
+        policy_id: PolicyId,
+        policy_type: u32,
+        policy: RadioPolicy,
+    },
+    /// non-RT RIC → near-RT RIC: delete a policy instance.
+    DeletePolicy { policy_id: PolicyId },
+    /// near-RT RIC → non-RT RIC: policy feedback.
+    Feedback { policy_id: PolicyId, status: PolicyStatus },
+    /// near-RT RIC → non-RT RIC: forwarded vBS KPI sample (the paper's
+    /// second xApp "manages data KPIs received from the base station …
+    /// and forwards it to the learning agent").
+    KpiSample {
+        /// Millisecond timestamp within the experiment.
+        t_ms: u64,
+        /// BS power sample in milliwatts (integer to keep the wire format
+        /// exact).
+        bs_power_mw: u64,
+    },
+}
+
+impl A1Message {
+    /// Serializes to the JSON wire form.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("A1 message is always serializable")
+    }
+
+    /// Parses from the JSON wire form.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+impl RadioPolicy {
+    /// Validates the ranges A1 policy-type schema would enforce.
+    pub fn is_valid(&self) -> bool {
+        self.airtime > 0.0 && self.airtime <= 1.0 && self.max_mcs <= 28
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_put_policy() {
+        let m = A1Message::PutPolicy {
+            policy_id: PolicyId("p-7".into()),
+            policy_type: A1_POLICY_TYPE_RADIO,
+            policy: RadioPolicy { airtime: 0.35, max_mcs: 17 },
+        };
+        let j = m.to_json();
+        assert!(j.contains("PutPolicy"), "{j}");
+        assert_eq!(A1Message::from_json(&j).unwrap(), m);
+    }
+
+    #[test]
+    fn json_roundtrip_all_variants() {
+        let msgs = [
+            A1Message::DeletePolicy { policy_id: PolicyId("a".into()) },
+            A1Message::Feedback {
+                policy_id: PolicyId("a".into()),
+                status: PolicyStatus::Enforced,
+            },
+            A1Message::KpiSample { t_ms: 123, bs_power_mw: 5_250 },
+        ];
+        for m in msgs {
+            assert_eq!(A1Message::from_json(&m.to_json()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(A1Message::from_json("{\"msg\":\"NoSuch\"}").is_err());
+        assert!(A1Message::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn policy_validation() {
+        assert!(RadioPolicy { airtime: 0.5, max_mcs: 28 }.is_valid());
+        assert!(!RadioPolicy { airtime: 0.0, max_mcs: 5 }.is_valid());
+        assert!(!RadioPolicy { airtime: 1.2, max_mcs: 5 }.is_valid());
+        assert!(!RadioPolicy { airtime: 0.5, max_mcs: 29 }.is_valid());
+    }
+}

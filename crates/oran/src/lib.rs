@@ -1,0 +1,76 @@
+//! O-RAN control plane for EdgeBOL.
+//!
+//! The paper deploys EdgeBOL as an O-RAN application (Fig. 7): an **rApp**
+//! in the non-RT RIC talks the **A1** Policy Management Service to an
+//! **xApp** in the near-RT RIC, which enforces radio policies on the
+//! O-eNB over **E2** and returns vBS KPIs (power samples) upstream. This
+//! crate implements that control plane:
+//!
+//! * [`a1`] — A1-P policy documents. O-RAN specifies A1 policies as JSON
+//!   against a policy-type schema (O-RAN.WG2.A1AP), so these types
+//!   round-trip through `serde_json` (the one dependency added beyond the
+//!   pre-approved set; see DESIGN.md).
+//! * [`e2`] — an E2AP-style binary codec over [`bytes`]: tagged,
+//!   length-delimited frames carrying subscriptions, KPI indications and
+//!   radio-control requests. Decoding is incremental: feed it a byte
+//!   stream, get complete messages out.
+//! * [`transport`] — duplex byte transports: an in-process pair backed by
+//!   crossbeam channels (used by the orchestrator and the tests) and a
+//!   length-framed TCP transport (used by the networked example) that
+//!   follows the classic framing pattern of the Tokio tutorial, in
+//!   blocking form.
+//! * [`ric`] — the actors: [`ric::NonRtRic`] (policy service + data
+//!   collector rApps), [`ric::NearRtRic`] (A1⇄E2 translation xApp) and
+//!   [`ric::E2Node`] (the O-eNB's E2 agent, applying policies through a
+//!   caller-provided hook and emitting KPI indications).
+//!
+//! Everything is synchronous and poll-driven, hence deterministic and
+//! testable; the networked example wraps the same actors in threads.
+
+pub mod a1;
+pub mod e2;
+pub mod ric;
+pub mod transport;
+
+pub use a1::{A1Message, PolicyId, PolicyStatus, RadioPolicy, A1_POLICY_TYPE_RADIO};
+pub use e2::{E2Codec, E2Message, KpiReport};
+pub use ric::{E2Node, NearRtRic, NonRtRic, RicEvent};
+pub use transport::{duplex_pair, Endpoint, FramedTcp};
+
+/// Errors of the O-RAN layer.
+#[derive(Debug)]
+pub enum OranError {
+    /// A frame failed to decode.
+    Codec(String),
+    /// JSON (A1) payload failed to parse.
+    Json(serde_json::Error),
+    /// Transport failure (peer gone, socket error).
+    Transport(String),
+    /// I/O error from the TCP transport.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for OranError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OranError::Codec(m) => write!(f, "codec error: {m}"),
+            OranError::Json(e) => write!(f, "A1 JSON error: {e}"),
+            OranError::Transport(m) => write!(f, "transport error: {m}"),
+            OranError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OranError {}
+
+impl From<serde_json::Error> for OranError {
+    fn from(e: serde_json::Error) -> Self {
+        OranError::Json(e)
+    }
+}
+
+impl From<std::io::Error> for OranError {
+    fn from(e: std::io::Error) -> Self {
+        OranError::Io(e)
+    }
+}

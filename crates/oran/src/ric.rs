@@ -1,0 +1,374 @@
+//! The RIC actors of Fig. 7: non-RT RIC (rApps), near-RT RIC (xApps) and
+//! the O-eNB's E2 agent.
+//!
+//! All actors are synchronous and poll-driven: each `poll()` drains the
+//! actor's inbound endpoints, reacts, and pushes outbound messages. The
+//! orchestrator (in `edgebol-core`) polls the chain once per decision; the
+//! networked example wraps the same actors in threads over TCP.
+
+use crate::a1::{A1Message, PolicyId, PolicyStatus, RadioPolicy};
+use crate::e2::{E2Codec, E2Message, KpiReport, RAN_FUNC_KPI};
+use crate::transport::Endpoint;
+use crate::OranError;
+use bytes::{Bytes, BytesMut};
+use std::collections::HashMap;
+
+/// Events the non-RT RIC surfaces to the learning agent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RicEvent {
+    /// Policy feedback arrived.
+    PolicyFeedback { policy_id: PolicyId, status: PolicyStatus },
+    /// A vBS KPI sample arrived via the data-collector rApp.
+    Kpi { t_ms: u64, bs_power_w: f64 },
+}
+
+/// The non-RT RIC hosting EdgeBOL's two rApps: the policy service and the
+/// data collector.
+#[derive(Debug)]
+pub struct NonRtRic {
+    a1: Endpoint,
+    next_policy_seq: u64,
+    /// Deployed policies awaiting feedback.
+    pending: HashMap<PolicyId, RadioPolicy>,
+    /// Policies confirmed enforced.
+    enforced: HashMap<PolicyId, RadioPolicy>,
+}
+
+impl NonRtRic {
+    /// Creates the RIC over its A1 endpoint toward the near-RT RIC.
+    pub fn new(a1: Endpoint) -> Self {
+        NonRtRic { a1, next_policy_seq: 0, pending: HashMap::new(), enforced: HashMap::new() }
+    }
+
+    /// Deploys a radio policy; returns its instance id.
+    ///
+    /// # Errors
+    /// [`OranError::Transport`] when the A1 link is down.
+    pub fn put_policy(&mut self, policy: RadioPolicy) -> Result<PolicyId, OranError> {
+        let id = PolicyId(format!("edgebol-{}", self.next_policy_seq));
+        self.next_policy_seq += 1;
+        let msg = A1Message::PutPolicy {
+            policy_id: id.clone(),
+            policy_type: crate::a1::A1_POLICY_TYPE_RADIO,
+            policy,
+        };
+        self.a1.send(Bytes::from(msg.to_json()))?;
+        self.pending.insert(id.clone(), policy);
+        Ok(id)
+    }
+
+    /// Number of policies confirmed enforced so far.
+    pub fn enforced_count(&self) -> usize {
+        self.enforced.len()
+    }
+
+    /// Drains A1 feedback and KPI samples.
+    ///
+    /// # Errors
+    /// Propagates transport and JSON errors (a malformed peer).
+    pub fn poll(&mut self) -> Result<Vec<RicEvent>, OranError> {
+        let mut events = Vec::new();
+        while let Some(raw) = self.a1.try_recv()? {
+            let text = std::str::from_utf8(&raw)
+                .map_err(|e| OranError::Transport(format!("non-UTF8 A1 frame: {e}")))?;
+            match A1Message::from_json(text)? {
+                A1Message::Feedback { policy_id, status } => {
+                    if status == PolicyStatus::Enforced {
+                        if let Some(p) = self.pending.remove(&policy_id) {
+                            self.enforced.insert(policy_id.clone(), p);
+                        }
+                    } else {
+                        self.pending.remove(&policy_id);
+                    }
+                    events.push(RicEvent::PolicyFeedback { policy_id, status });
+                }
+                A1Message::KpiSample { t_ms, bs_power_mw } => {
+                    events.push(RicEvent::Kpi { t_ms, bs_power_w: bs_power_mw as f64 / 1000.0 });
+                }
+                other => {
+                    return Err(OranError::Transport(format!(
+                        "unexpected A1 message at non-RT RIC: {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(events)
+    }
+}
+
+/// The near-RT RIC: terminates A1 from above and E2 toward the O-eNB.
+#[derive(Debug)]
+pub struct NearRtRic {
+    a1: Endpoint,
+    e2: Endpoint,
+    e2_rx_buf: BytesMut,
+    /// Policy awaiting a `ControlAck` from the node.
+    awaiting_ack: Option<PolicyId>,
+}
+
+impl NearRtRic {
+    /// Creates the xApp pair over its two endpoints.
+    pub fn new(a1: Endpoint, e2: Endpoint) -> Self {
+        NearRtRic { a1, e2, e2_rx_buf: BytesMut::new(), awaiting_ack: None }
+    }
+
+    /// Subscribes to the node's KPI stream (done once at start-up).
+    ///
+    /// # Errors
+    /// [`OranError::Transport`] when the E2 link is down.
+    pub fn subscribe_kpis(&mut self, period_ms: u32) -> Result<(), OranError> {
+        let msg = E2Message::SubscriptionRequest {
+            ran_function: RAN_FUNC_KPI,
+            report_period_ms: period_ms,
+        };
+        self.e2.send(E2Codec::encode_to_bytes(&msg))
+    }
+
+    /// One poll round: translate inbound A1 policies to E2 control, and
+    /// inbound E2 indications to A1 KPI samples / feedback.
+    ///
+    /// # Errors
+    /// Propagates transport/codec/JSON failures.
+    pub fn poll(&mut self) -> Result<(), OranError> {
+        // A1 (from non-RT RIC) -> E2 control.
+        while let Some(raw) = self.a1.try_recv()? {
+            let text = std::str::from_utf8(&raw)
+                .map_err(|e| OranError::Transport(format!("non-UTF8 A1 frame: {e}")))?;
+            match A1Message::from_json(text)? {
+                A1Message::PutPolicy { policy_id, policy, .. } => {
+                    if !policy.is_valid() {
+                        let fb = A1Message::Feedback {
+                            policy_id,
+                            status: PolicyStatus::Rejected,
+                        };
+                        self.a1.send(Bytes::from(fb.to_json()))?;
+                        continue;
+                    }
+                    let ctrl = E2Message::ControlRequest {
+                        airtime_milli: (policy.airtime * 1000.0).round() as u16,
+                        max_mcs: policy.max_mcs,
+                    };
+                    self.e2.send(E2Codec::encode_to_bytes(&ctrl))?;
+                    self.awaiting_ack = Some(policy_id);
+                }
+                A1Message::DeletePolicy { policy_id } => {
+                    let fb = A1Message::Feedback { policy_id, status: PolicyStatus::Deleted };
+                    self.a1.send(Bytes::from(fb.to_json()))?;
+                }
+                other => {
+                    return Err(OranError::Transport(format!(
+                        "unexpected A1 message at near-RT RIC: {other:?}"
+                    )))
+                }
+            }
+        }
+        // E2 (from node) -> A1 upstream.
+        while let Some(raw) = self.e2.try_recv()? {
+            self.e2_rx_buf.extend_from_slice(&raw);
+        }
+        while let Some(msg) = E2Codec::decode(&mut self.e2_rx_buf)? {
+            match msg {
+                E2Message::ControlAck => {
+                    if let Some(policy_id) = self.awaiting_ack.take() {
+                        let fb = A1Message::Feedback {
+                            policy_id,
+                            status: PolicyStatus::Enforced,
+                        };
+                        self.a1.send(Bytes::from(fb.to_json()))?;
+                    }
+                }
+                E2Message::Indication(k) => {
+                    let up = A1Message::KpiSample { t_ms: k.t_ms, bs_power_mw: k.bs_power_mw };
+                    self.a1.send(Bytes::from(up.to_json()))?;
+                }
+                E2Message::SubscriptionResponse { .. } => {}
+                other => {
+                    return Err(OranError::Transport(format!(
+                        "unexpected E2 message at near-RT RIC: {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The O-eNB's E2 agent: applies control requests through a hook into the
+/// MAC (in this workspace, the testbed's scheduler) and emits KPI
+/// indications when asked.
+pub struct E2Node {
+    e2: Endpoint,
+    rx_buf: BytesMut,
+    /// Applied radio policy hook.
+    apply: Box<dyn FnMut(RadioPolicy) + Send>,
+    /// Whether a KPI subscription is active.
+    subscribed: bool,
+}
+
+impl std::fmt::Debug for E2Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("E2Node").field("subscribed", &self.subscribed).finish()
+    }
+}
+
+impl E2Node {
+    /// Creates the agent with a policy-application hook.
+    pub fn new(e2: Endpoint, apply: Box<dyn FnMut(RadioPolicy) + Send>) -> Self {
+        E2Node { e2, rx_buf: BytesMut::new(), apply, subscribed: false }
+    }
+
+    /// Whether a KPI subscription is active.
+    pub fn is_subscribed(&self) -> bool {
+        self.subscribed
+    }
+
+    /// Drains inbound E2 traffic, applying control requests.
+    ///
+    /// # Errors
+    /// Propagates transport/codec failures.
+    pub fn poll(&mut self) -> Result<(), OranError> {
+        while let Some(raw) = self.e2.try_recv()? {
+            self.rx_buf.extend_from_slice(&raw);
+        }
+        while let Some(msg) = E2Codec::decode(&mut self.rx_buf)? {
+            match msg {
+                E2Message::SubscriptionRequest { ran_function, .. } => {
+                    self.subscribed = true;
+                    let resp = E2Message::SubscriptionResponse { ran_function };
+                    self.e2.send(E2Codec::encode_to_bytes(&resp))?;
+                }
+                E2Message::ControlRequest { airtime_milli, max_mcs } => {
+                    (self.apply)(RadioPolicy {
+                        airtime: airtime_milli as f64 / 1000.0,
+                        max_mcs,
+                    });
+                    self.e2.send(E2Codec::encode_to_bytes(&E2Message::ControlAck))?;
+                }
+                other => {
+                    return Err(OranError::Transport(format!(
+                        "unexpected E2 message at node: {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Emits one KPI indication (called by the vBS once per report period
+    /// when subscribed).
+    ///
+    /// # Errors
+    /// [`OranError::Transport`] when the E2 link is down.
+    pub fn indicate(&mut self, kpi: KpiReport) -> Result<(), OranError> {
+        if !self.subscribed {
+            return Ok(()); // No subscriber; the sample is dropped.
+        }
+        self.e2.send(E2Codec::encode_to_bytes(&E2Message::Indication(kpi)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::duplex_pair;
+    use std::sync::{Arc, Mutex};
+
+    /// Builds the full chain: NonRtRic =A1= NearRtRic =E2= E2Node.
+    fn chain() -> (NonRtRic, NearRtRic, E2Node, Arc<Mutex<Vec<RadioPolicy>>>) {
+        let (a1_up, a1_down) = duplex_pair();
+        let (e2_up, e2_down) = duplex_pair();
+        let applied = Arc::new(Mutex::new(Vec::new()));
+        let applied2 = applied.clone();
+        let node = E2Node::new(
+            e2_down,
+            Box::new(move |p| applied2.lock().unwrap().push(p)),
+        );
+        (NonRtRic::new(a1_up), NearRtRic::new(a1_down, e2_up), node, applied)
+    }
+
+    #[test]
+    fn policy_flows_a1_to_e2_to_mac() {
+        let (mut nonrt, mut nearrt, mut node, applied) = chain();
+        let p = RadioPolicy { airtime: 0.35, max_mcs: 17 };
+        let id = nonrt.put_policy(p).unwrap();
+        nearrt.poll().unwrap(); // A1 -> E2
+        node.poll().unwrap(); // E2 -> apply + ack
+        nearrt.poll().unwrap(); // ack -> A1 feedback
+        let events = nonrt.poll().unwrap();
+        assert_eq!(applied.lock().unwrap().as_slice(), &[p]);
+        assert_eq!(
+            events,
+            vec![RicEvent::PolicyFeedback { policy_id: id, status: PolicyStatus::Enforced }]
+        );
+        assert_eq!(nonrt.enforced_count(), 1);
+    }
+
+    #[test]
+    fn invalid_policy_is_rejected_without_reaching_the_node() {
+        let (mut nonrt, mut nearrt, mut node, applied) = chain();
+        let bad = RadioPolicy { airtime: 1.5, max_mcs: 99 };
+        let id = nonrt.put_policy(bad).unwrap();
+        nearrt.poll().unwrap();
+        node.poll().unwrap();
+        nearrt.poll().unwrap();
+        let events = nonrt.poll().unwrap();
+        assert!(applied.lock().unwrap().is_empty());
+        assert_eq!(
+            events,
+            vec![RicEvent::PolicyFeedback { policy_id: id, status: PolicyStatus::Rejected }]
+        );
+        assert_eq!(nonrt.enforced_count(), 0);
+    }
+
+    #[test]
+    fn kpi_indications_reach_the_learning_agent() {
+        let (mut nonrt, mut nearrt, mut node, _) = chain();
+        nearrt.subscribe_kpis(1000).unwrap();
+        node.poll().unwrap(); // subscription handled
+        assert!(node.is_subscribed());
+        node.indicate(KpiReport {
+            t_ms: 42,
+            bs_power_mw: 5_500,
+            duty_milli: 200,
+            mean_mcs_centi: 2_800,
+        })
+        .unwrap();
+        nearrt.poll().unwrap();
+        let events = nonrt.poll().unwrap();
+        assert_eq!(events, vec![RicEvent::Kpi { t_ms: 42, bs_power_w: 5.5 }]);
+    }
+
+    #[test]
+    fn unsubscribed_indications_are_dropped() {
+        let (mut nonrt, mut nearrt, mut node, _) = chain();
+        node.indicate(KpiReport { t_ms: 1, bs_power_mw: 1, duty_milli: 0, mean_mcs_centi: 0 })
+            .unwrap();
+        nearrt.poll().unwrap();
+        assert!(nonrt.poll().unwrap().is_empty());
+    }
+
+    #[test]
+    fn delete_policy_round_trip() {
+        let (mut nonrt, mut nearrt, _node, _) = chain();
+        // Deploy then delete; the near-RT RIC acknowledges deletion.
+        let p = RadioPolicy { airtime: 0.5, max_mcs: 10 };
+        let id = nonrt.put_policy(p).unwrap();
+        let msg = A1Message::DeletePolicy { policy_id: id.clone() };
+        nonrt.a1.send(Bytes::from(msg.to_json())).unwrap();
+        nearrt.poll().unwrap();
+        // Two A1 messages pending at non-RT: none for the put (no ack yet,
+        // node never polled) and one Deleted feedback.
+        let events = nonrt.poll().unwrap();
+        assert!(events
+            .iter()
+            .any(|e| *e == RicEvent::PolicyFeedback { policy_id: id.clone(), status: PolicyStatus::Deleted }));
+    }
+
+    #[test]
+    fn sequential_policies_get_distinct_ids() {
+        let (mut nonrt, _nearrt, _node, _) = chain();
+        let a = nonrt.put_policy(RadioPolicy { airtime: 0.1, max_mcs: 1 }).unwrap();
+        let b = nonrt.put_policy(RadioPolicy { airtime: 0.2, max_mcs: 2 }).unwrap();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,190 @@
+//! Duplex byte transports: in-process channels and framed TCP.
+
+use crate::OranError;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// One end of a duplex, message-oriented byte pipe.
+///
+/// The in-process implementation used throughout the orchestrator and the
+/// tests; each `send` delivers one whole message (no framing needed).
+#[derive(Debug, Clone)]
+pub struct Endpoint {
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
+}
+
+/// Creates a connected pair of endpoints.
+pub fn duplex_pair() -> (Endpoint, Endpoint) {
+    let (a_tx, b_rx) = unbounded();
+    let (b_tx, a_rx) = unbounded();
+    (Endpoint { tx: a_tx, rx: a_rx }, Endpoint { tx: b_tx, rx: b_rx })
+}
+
+impl Endpoint {
+    /// Sends one message.
+    ///
+    /// # Errors
+    /// [`OranError::Transport`] when the peer endpoint was dropped.
+    pub fn send(&self, msg: Bytes) -> Result<(), OranError> {
+        self.tx.send(msg).map_err(|_| OranError::Transport("peer endpoint dropped".into()))
+    }
+
+    /// Receives the next pending message without blocking.
+    ///
+    /// Returns `Ok(None)` when the queue is empty.
+    ///
+    /// # Errors
+    /// [`OranError::Transport`] when the peer endpoint was dropped and the
+    /// queue is drained.
+    pub fn try_recv(&self) -> Result<Option<Bytes>, OranError> {
+        match self.rx.try_recv() {
+            Ok(m) => Ok(Some(m)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => {
+                Err(OranError::Transport("peer endpoint dropped".into()))
+            }
+        }
+    }
+
+    /// Drains all pending messages.
+    pub fn drain(&self) -> Vec<Bytes> {
+        let mut out = Vec::new();
+        while let Ok(Some(m)) = self.try_recv() {
+            out.push(m);
+        }
+        out
+    }
+}
+
+/// A blocking, length-framed TCP transport: `u32 BE length | payload`.
+///
+/// The same framing the E2 codec uses internally, applied at the socket
+/// boundary so arbitrary transports can carry A1 JSON or E2 frames. Used
+/// by the networked RIC example.
+#[derive(Debug)]
+pub struct FramedTcp {
+    stream: TcpStream,
+}
+
+impl FramedTcp {
+    /// Wraps a connected stream.
+    pub fn new(stream: TcpStream) -> Self {
+        FramedTcp { stream }
+    }
+
+    /// Connects to `addr` (e.g. `127.0.0.1:36421`).
+    pub fn connect(addr: &str) -> Result<Self, OranError> {
+        Ok(FramedTcp { stream: TcpStream::connect(addr)? })
+    }
+
+    /// Sends one frame.
+    pub fn send(&mut self, payload: &[u8]) -> Result<(), OranError> {
+        let len = u32::try_from(payload.len())
+            .map_err(|_| OranError::Transport("frame too large".into()))?;
+        self.stream.write_all(&len.to_be_bytes())?;
+        self.stream.write_all(payload)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Receives one frame (blocking).
+    pub fn recv(&mut self) -> Result<Bytes, OranError> {
+        let mut len_buf = [0u8; 4];
+        self.stream.read_exact(&mut len_buf)?;
+        let len = u32::from_be_bytes(len_buf) as usize;
+        if len > 16 * 1024 * 1024 {
+            return Err(OranError::Transport(format!("unreasonable frame length {len}")));
+        }
+        let mut payload = vec![0u8; len];
+        self.stream.read_exact(&mut payload)?;
+        Ok(Bytes::from(payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    #[test]
+    fn duplex_delivers_in_order() {
+        let (a, b) = duplex_pair();
+        a.send(Bytes::from_static(b"one")).unwrap();
+        a.send(Bytes::from_static(b"two")).unwrap();
+        assert_eq!(b.try_recv().unwrap().unwrap(), Bytes::from_static(b"one"));
+        assert_eq!(b.try_recv().unwrap().unwrap(), Bytes::from_static(b"two"));
+        assert!(b.try_recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn duplex_is_bidirectional() {
+        let (a, b) = duplex_pair();
+        a.send(Bytes::from_static(b"ping")).unwrap();
+        b.send(Bytes::from_static(b"pong")).unwrap();
+        assert_eq!(b.try_recv().unwrap().unwrap(), Bytes::from_static(b"ping"));
+        assert_eq!(a.try_recv().unwrap().unwrap(), Bytes::from_static(b"pong"));
+    }
+
+    #[test]
+    fn dropped_peer_is_an_error() {
+        let (a, b) = duplex_pair();
+        drop(b);
+        assert!(a.send(Bytes::from_static(b"x")).is_err());
+        assert!(a.try_recv().is_err());
+    }
+
+    #[test]
+    fn drain_empties_queue() {
+        let (a, b) = duplex_pair();
+        for i in 0..5u8 {
+            a.send(Bytes::copy_from_slice(&[i])).unwrap();
+        }
+        let msgs = b.drain();
+        assert_eq!(msgs.len(), 5);
+        assert!(b.try_recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn framed_tcp_roundtrip_localhost() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut t = FramedTcp::new(stream);
+            let m = t.recv().expect("recv");
+            // Echo back reversed.
+            let rev: Vec<u8> = m.iter().rev().copied().collect();
+            t.send(&rev).expect("send");
+        });
+        let mut client = FramedTcp::connect(&addr.to_string()).expect("connect");
+        client.send(b"edgebol").expect("send");
+        let echo = client.recv().expect("recv");
+        assert_eq!(&echo[..], b"lobegde");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn framed_tcp_carries_empty_and_large_frames() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = FramedTcp::new(stream);
+            let a = t.recv().unwrap();
+            let b = t.recv().unwrap();
+            t.send(&[a.len() as u8]).unwrap();
+            t.send(&(b.len() as u32).to_be_bytes()).unwrap();
+        });
+        let mut client = FramedTcp::connect(&addr.to_string()).unwrap();
+        client.send(&[]).unwrap();
+        let big = vec![0xAB; 100_000];
+        client.send(&big).unwrap();
+        assert_eq!(&client.recv().unwrap()[..], &[0]);
+        assert_eq!(&client.recv().unwrap()[..], &100_000u32.to_be_bytes());
+        server.join().unwrap();
+    }
+}

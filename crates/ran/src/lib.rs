@@ -1,0 +1,39 @@
+//! LTE virtualized-RAN model.
+//!
+//! Replaces the paper's srsRAN eNB + USRP B210 testbed with a faithful
+//! model of the pieces the EdgeBOL learning problem actually interacts
+//! with:
+//!
+//! * [`phy`] — 3GPP-style link tables: CQI spectral efficiencies
+//!   (36.213 Table 7.2.3-1), MCS↔efficiency interpolation, transport-block
+//!   sizes per scheduled subframe, SNR→CQI mapping and a logistic BLER
+//!   model around each MCS's required SNR.
+//! * [`channel`] — per-UE channel state: mean SNR with log-normal
+//!   shadowing and fast-fading wiggle, quantized noisy CQI reports, and
+//!   piecewise SNR traces for the dynamic-context experiments (Fig. 13).
+//! * [`mac`] — the slice scheduler implementing the two radio policies of
+//!   the paper: **airtime** (Policy 2, uplink duty-cycle cap) and **max
+//!   MCS** (Policy 4), with round-robin service among UEs (the low-level
+//!   controller used in §6.4).
+//! * [`harq`] — stop-and-wait HARQ with a bounded number of
+//!   retransmissions, 8 ms RTT, as in LTE FDD UL.
+//! * [`power`] — the BBU power model (Performance Indicator 4), shaped to
+//!   reproduce both regimes the paper measures: at low load, higher MCS
+//!   *reduces* BS power (subframe occupancy falls faster than per-subframe
+//!   decode cost rises — Fig. 5); at saturating load, higher MCS *raises*
+//!   it (occupancy is pinned, decode cost dominates — Fig. 6).
+//!
+//! All timing is expressed in seconds and all rates in bits/second at the
+//! API boundary; subframes (1 ms) are the internal scheduling quantum.
+
+pub mod channel;
+pub mod harq;
+pub mod mac;
+pub mod phy;
+pub mod power;
+
+pub use channel::{ChannelModel, SnrTrace};
+pub use harq::HarqModel;
+pub use mac::{AirtimePolicy, McsPolicy, SliceScheduler, UeLink};
+pub use phy::{bler, cqi_from_snr, max_mcs_for_cqi, mcs_efficiency, tbs_bits, Mcs, NUM_MCS};
+pub use power::BbuPowerModel;

@@ -1,0 +1,121 @@
+//! Property-based tests of the vRAN model.
+
+use edgebol_ran::phy::{required_snr_db, CARRIER_PRBS};
+use edgebol_ran::{
+    bler, cqi_from_snr, max_mcs_for_cqi, mcs_efficiency, tbs_bits, AirtimePolicy, BbuPowerModel,
+    ChannelModel, HarqModel, Mcs, McsPolicy, SliceScheduler, UeLink,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// BLER is a proper probability, monotone decreasing in SNR and
+    /// monotone increasing in MCS.
+    #[test]
+    fn bler_monotonicity(snr in -20.0f64..45.0, mcs in 0u8..28) {
+        let m = Mcs(mcs);
+        let b = bler(snr, m);
+        prop_assert!((0.0..=1.0).contains(&b));
+        prop_assert!(bler(snr + 1.0, m) <= b + 1e-12, "BLER must fall with SNR");
+        prop_assert!(bler(snr, Mcs(mcs + 1)) >= b - 1e-12, "BLER must rise with MCS");
+    }
+
+    /// HARQ analytic quantities are consistent: goodput in (0,1],
+    /// expected attempts in [1, max], residual loss a probability.
+    #[test]
+    fn harq_consistency(snr in -10.0f64..40.0, mcs in 0u8..=28) {
+        let h = HarqModel::default();
+        let m = Mcs(mcs);
+        let e = h.expected_attempts(snr, m);
+        prop_assert!((1.0..=h.max_attempts as f64).contains(&e));
+        let loss = h.residual_loss(snr, m);
+        prop_assert!((0.0..=1.0).contains(&loss));
+        let gf = h.goodput_factor(snr, m);
+        prop_assert!(gf > 0.0 && gf <= 1.0, "goodput factor {gf}");
+        // Goodput improves with SNR.
+        prop_assert!(h.goodput_factor(snr + 2.0, m) >= gf - 1e-9);
+    }
+
+    /// Scheduler duty accounting always respects the airtime policy.
+    #[test]
+    fn scheduler_respects_airtime(frac in 0.05f64..=1.0, seed in 0u64..100) {
+        let mut s = SliceScheduler::new(AirtimePolicy(frac), McsPolicy(Mcs::MAX), 22);
+        let mut ues = vec![{
+            let mut ue = UeLink::new(30.0);
+            ue.backlog_bits = f64::INFINITY;
+            ue
+        }];
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..4000 {
+            s.tick(&mut ues, &mut rng);
+        }
+        prop_assert!(
+            s.realized_duty() <= frac + 0.01,
+            "duty {} exceeds policy {}",
+            s.realized_duty(),
+            frac
+        );
+    }
+
+    /// Grants never exceed the policy MCS cap or the channel support.
+    #[test]
+    fn grants_respect_caps(cap in 0u8..=28, snr in 0.0f64..40.0, seed in 0u64..50) {
+        let mut s = SliceScheduler::new(AirtimePolicy(1.0), McsPolicy(Mcs(cap)), 22);
+        let mut ues = vec![{
+            let mut ue = UeLink::new(snr);
+            ue.backlog_bits = f64::INFINITY;
+            ue
+        }];
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            if let Some(g) = s.tick(&mut ues, &mut rng) {
+                prop_assert!(g.mcs.index() <= cap as usize);
+                prop_assert!(g.tb_bits > 0.0);
+            }
+        }
+    }
+
+    /// BBU power stays within the physical envelope for any load mix.
+    #[test]
+    fn bbu_power_envelope(occ in 0.0f64..=1.0, mcs in 0u8..=28) {
+        let m = BbuPowerModel::default();
+        let p = m.power_w(occ, Mcs(mcs));
+        prop_assert!(p >= m.idle_w - 1e-12);
+        prop_assert!(p <= m.peak_w() + 1e-12);
+    }
+
+    /// TBS grows with both MCS and PRBs; the full carrier at top MCS is
+    /// in the ~50 Mb/s class the paper quotes.
+    #[test]
+    fn tbs_monotone(mcs in 0u8..28, prbs in 1usize..CARRIER_PRBS) {
+        let m = Mcs(mcs);
+        prop_assert!(tbs_bits(Mcs(mcs + 1), prbs) > tbs_bits(m, prbs));
+        prop_assert!(tbs_bits(m, prbs + 1) > tbs_bits(m, prbs));
+        prop_assert!(mcs_efficiency(m) > 0.0);
+    }
+
+    /// The CQI→MCS mapping is link-consistent: the mapped MCS's required
+    /// SNR never exceeds the reporting SNR by more than the waterfall
+    /// width. (Below MCS 0's own decodability floor of ≈ -6.5 dB there is
+    /// no MCS to fall back to — CQI 1 is the minimum — so the property
+    /// starts above that floor.)
+    #[test]
+    fn cqi_mcs_link_consistency(snr in -5.0f64..45.0) {
+        let mcs = max_mcs_for_cqi(cqi_from_snr(snr));
+        prop_assert!(required_snr_db(mcs) <= snr + 1.5, "mcs {:?} too aggressive", mcs);
+    }
+
+    /// Channel samples stay finite and CQIs valid for any mean SNR.
+    #[test]
+    fn channel_outputs_valid(mean in -10.0f64..45.0, seed in 0u64..50) {
+        let mut ch = ChannelModel::new(mean);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let s = ch.sample_snr(&mut rng);
+            prop_assert!(s.is_finite());
+            let c = ch.sample_cqi(&mut rng);
+            prop_assert!((1..=15).contains(&c));
+        }
+    }
+}

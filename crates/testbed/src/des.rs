@@ -1,0 +1,383 @@
+//! Subframe-level discrete-event simulation of the full service pipeline.
+//!
+//! This is the high-fidelity half of the testbed: every 1 ms subframe the
+//! MAC may issue a grant, every grant carries a HARQ-resolved transport
+//! block, every completed upload enters the GPU FIFO, and every inference
+//! result returns over the downlink. Frames are generated in the
+//! closed-loop fashion of the real service: a user starts pre-processing
+//! its next frame the moment the previous reply arrives.
+//!
+//! The DES exists for two reasons: it *generates* the measurement figures
+//! (Figs. 1–6) the way the paper does — by running the pipeline and
+//! averaging — and it *cross-validates* the flow-level fixed point used by
+//! the learning loops (see the workspace integration tests).
+
+use crate::calib::Calibration;
+use crate::meter::PowerMeter;
+use crate::observe::{ContextObs, ControlInput, PeriodObservation};
+use crate::scenario::Scenario;
+use crate::Environment;
+use edgebol_edge::{GpuSpeedPolicy, InferenceQueue};
+use edgebol_linalg::stats::normal;
+use edgebol_media::Dataset;
+use edgebol_ran::phy::SUBFRAME_S;
+use edgebol_ran::{cqi_from_snr, AirtimePolicy, McsPolicy, Mcs, SliceScheduler, UeLink, NUM_MCS};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Where a user is in its frame pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// Capturing + resizing + encoding; ends at the given instant.
+    Preproc { until_s: f64 },
+    /// Uplink transfer in progress (backlog > 0).
+    Uplink,
+    /// Waiting for inference + downlink; frame completes at the instant.
+    Inference { done_s: f64 },
+}
+
+/// A transport block in flight through HARQ.
+#[derive(Debug, Clone, Copy)]
+struct PendingTb {
+    bits: f64,
+    remaining_attempts: u8,
+    will_succeed: bool,
+    mcs: Mcs,
+}
+
+/// Per-user simulation state.
+#[derive(Debug, Clone)]
+struct UeState {
+    link: UeLink,
+    phase: Phase,
+    frame_start_s: f64,
+    pending: Option<PendingTb>,
+    completed_delays: Vec<f64>,
+}
+
+/// The discrete-event testbed.
+#[derive(Debug, Clone)]
+pub struct DesTestbed {
+    calib: Calibration,
+    scenario: Scenario,
+    dataset: Dataset,
+    meter: PowerMeter,
+    rng: SmallRng,
+    period: usize,
+    /// Simulated seconds per period (the paper's orchestrator acts on a
+    /// seconds timescale).
+    pub period_duration_s: f64,
+    now_s: f64,
+    ues: Vec<UeState>,
+    queue: InferenceQueue,
+    scheduler: SliceScheduler,
+}
+
+impl DesTestbed {
+    /// Creates the simulator; deterministic given `seed`.
+    pub fn new(calib: Calibration, scenario: Scenario, seed: u64) -> Self {
+        let dataset = Dataset::generate(calib.dataset_size, seed ^ 0x5EED);
+        let meter = PowerMeter::new(calib.meter_noise_rel);
+        let ues = (0..scenario.num_users())
+            .map(|i| UeState {
+                link: UeLink::new(scenario.snr_db(i, 0)),
+                phase: Phase::Preproc { until_s: 0.0 },
+                frame_start_s: 0.0,
+                pending: None,
+                completed_delays: Vec::new(),
+            })
+            .collect();
+        let queue = InferenceQueue::new(calib.gpu.clone(), GpuSpeedPolicy(1.0));
+        let scheduler =
+            SliceScheduler::new(AirtimePolicy(1.0), McsPolicy(Mcs::MAX), calib.slice_prbs);
+        DesTestbed {
+            calib,
+            scenario,
+            dataset,
+            meter,
+            rng: SmallRng::seed_from_u64(seed),
+            period: 0,
+            period_duration_s: 4.0,
+            now_s: 0.0,
+            ues,
+            queue,
+            scheduler,
+        }
+    }
+
+    /// Current period index.
+    pub fn period(&self) -> usize {
+        self.period
+    }
+
+    /// Runs one period of the pipeline under `control`, returning the
+    /// period's KPIs without meter noise applied (the `Environment` impl
+    /// adds it). Public for tests that want the raw DES output.
+    pub fn run_period_raw(&mut self, control: &ControlInput) -> PeriodObservation {
+        let calib = self.calib.clone();
+        let enc = calib.encode.encode(control.resolution);
+        let frame_bits = enc.bytes * 8.0;
+        let gamma = GpuSpeedPolicy::clamped(control.gpu_speed);
+        self.queue.set_policy(gamma);
+        self.queue.reset_accounting();
+        self.scheduler
+            .set_policies(AirtimePolicy::clamped(control.airtime), McsPolicy(control.mcs_cap));
+        self.scheduler.reset_accounting();
+
+        // Refresh channel means for this period.
+        for (i, ue) in self.ues.iter_mut().enumerate() {
+            ue.link.channel.mean_snr_db = self.scenario.snr_db(i, self.period);
+            ue.completed_delays.clear();
+        }
+
+        let start_s = self.now_s;
+        let end_s = start_s + self.period_duration_s;
+        let n_sf = (self.period_duration_s / SUBFRAME_S).round() as u64;
+        // Occupied-subframe counters per MCS index, for the power mixture.
+        let mut occupied_sf = [0u64; NUM_MCS];
+        // Server-side latency accounting (queue wait + inference).
+        let mut gpu_delay_acc = 0.0f64;
+        let mut gpu_jobs = 0u64;
+
+        for sf in 0..n_sf {
+            let now = start_s + sf as f64 * SUBFRAME_S;
+            self.now_s = now;
+
+            // Phase transitions.
+            for ue in self.ues.iter_mut() {
+                match ue.phase {
+                    Phase::Preproc { until_s } if now >= until_s => {
+                        ue.link.backlog_bits = frame_bits;
+                        ue.phase = Phase::Uplink;
+                    }
+                    Phase::Inference { done_s } if now >= done_s => {
+                        ue.completed_delays.push(done_s - ue.frame_start_s);
+                        // Closed loop: next frame starts immediately.
+                        ue.frame_start_s = now;
+                        ue.phase = Phase::Preproc { until_s: now + enc.preproc_s };
+                    }
+                    _ => {}
+                }
+            }
+
+            // MAC grant for this subframe.
+            let mut links: Vec<UeLink> =
+                self.ues.iter().map(|u| u.link.clone()).collect();
+            if let Some(grant) = self.scheduler.tick(&mut links, &mut self.rng) {
+                // Propagate channel-state evolution back.
+                for (u, l) in self.ues.iter_mut().zip(links) {
+                    u.link.channel = l.channel;
+                }
+                let ue = &mut self.ues[grant.ue];
+                let tb = ue.pending.get_or_insert_with(|| {
+                    let outcome = calib.harq.attempt(&mut self.rng, grant.snr_db, grant.mcs);
+                    PendingTb {
+                        bits: grant.tb_bits,
+                        remaining_attempts: outcome.attempts,
+                        will_succeed: outcome.success,
+                        mcs: grant.mcs,
+                    }
+                });
+                occupied_sf[tb.mcs.index()] += 1;
+                tb.remaining_attempts -= 1;
+                if tb.remaining_attempts == 0 {
+                    let tb = ue.pending.take().expect("pending TB present");
+                    if tb.will_succeed {
+                        ue.link.backlog_bits = (ue.link.backlog_bits - tb.bits).max(0.0);
+                        if ue.link.backlog_bits == 0.0 && matches!(ue.phase, Phase::Uplink) {
+                            // Upload complete: enter the GPU queue.
+                            let (_, done) = self.queue.submit(now, control.resolution);
+                            gpu_delay_acc += done - now;
+                            gpu_jobs += 1;
+                            let finish =
+                                done + calib.dl_fixed_s + calib.stack_overhead_s;
+                            ue.phase = Phase::Inference { done_s: finish };
+                        }
+                    }
+                    // On failure the backlog stays; RLC retransmits.
+                }
+            } else {
+                for (u, l) in self.ues.iter_mut().zip(links) {
+                    u.link.channel = l.channel;
+                }
+            }
+        }
+        self.now_s = end_s;
+
+        // --- KPI aggregation -------------------------------------------------
+        // Per-user delay: mean of completed frames; censored at the period
+        // duration if nothing completed (a clearly constraint-violating
+        // configuration).
+        let worst_delay = self
+            .ues
+            .iter()
+            .map(|u| {
+                if u.completed_delays.is_empty() {
+                    self.period_duration_s
+                } else {
+                    edgebol_linalg::vecops::mean(&u.completed_delays)
+                }
+            })
+            .fold(0.0, f64::max);
+
+        let gpu_util = self.queue.utilization(self.period_duration_s);
+        let server_power_w = calib.server_power.power_w(gpu_util, gamma);
+
+        let total_sf = n_sf as f64;
+        let occupancies: Vec<f64> =
+            occupied_sf.iter().map(|&c| c as f64 / total_sf).collect();
+        let mcs_list: Vec<Mcs> = (0..NUM_MCS).map(|i| Mcs(i as u8)).collect();
+        let bs_power_w = calib.bbu_power.power_mixture_w(&occupancies, &mcs_list);
+
+        let map_seed = (self.period as u64).wrapping_mul(0x9E37_79B9) ^ 0xDE5;
+        let map = self.dataset.evaluate_map(&calib.detector, control.resolution, map_seed);
+
+        let gpu_delay_s = if gpu_jobs == 0 {
+            calib.gpu.inference_time_s(control.resolution, gamma)
+        } else {
+            gpu_delay_acc / gpu_jobs as f64
+        };
+
+        self.period += 1;
+        PeriodObservation { delay_s: worst_delay, gpu_delay_s, map, server_power_w, bs_power_w }
+    }
+}
+
+impl Environment for DesTestbed {
+    fn observe_context(&mut self) -> ContextObs {
+        let n = self.ues.len();
+        let mut reports = Vec::with_capacity(n * 20);
+        for i in 0..n {
+            let mean = self.scenario.snr_db(i, self.period);
+            for _ in 0..20 {
+                reports.push(cqi_from_snr(mean + normal(&mut self.rng, 0.0, 1.2)) as f64);
+            }
+        }
+        ContextObs {
+            num_users: n,
+            mean_cqi: edgebol_linalg::vecops::mean(&reports),
+            var_cqi: edgebol_linalg::vecops::variance(&reports),
+        }
+    }
+
+    fn step(&mut self, control: &ControlInput) -> PeriodObservation {
+        let raw = self.run_period_raw(control);
+        PeriodObservation {
+            delay_s: raw.delay_s,
+            gpu_delay_s: raw.gpu_delay_s,
+            map: raw.map,
+            server_power_w: self.meter.read(raw.server_power_w, &mut self.rng),
+            bs_power_w: self.meter.read(raw.bs_power_w, &mut self.rng),
+        }
+    }
+
+    fn num_users(&self) -> usize {
+        self.ues.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn des(scenario: Scenario) -> DesTestbed {
+        DesTestbed::new(Calibration::default(), scenario, 7)
+    }
+
+    #[test]
+    fn completes_frames_at_max_resources() {
+        let mut t = des(Scenario::single_user(35.0));
+        let obs = t.run_period_raw(&ControlInput::max_resources());
+        // ~3 frames/s at a ~0.33 s delay: several completions expected.
+        assert!(!t.ues[0].completed_delays.is_empty(), "no frames completed");
+        assert!((0.25..0.45).contains(&obs.delay_s), "delay {}", obs.delay_s);
+    }
+
+    #[test]
+    fn delay_in_paper_band_for_quarter_resolution() {
+        let mut t = des(Scenario::single_user(35.0));
+        let mut c = ControlInput::max_resources();
+        c.resolution = 0.25;
+        let obs = t.run_period_raw(&c);
+        assert!((0.14..0.32).contains(&obs.delay_s), "delay {}", obs.delay_s);
+    }
+
+    #[test]
+    fn airtime_starvation_shows_in_delay() {
+        let mut t = des(Scenario::single_user(35.0));
+        let mut c = ControlInput::max_resources();
+        c.airtime = 0.2;
+        let starved = t.run_period_raw(&c).delay_s;
+        let mut t2 = des(Scenario::single_user(35.0));
+        let free = t2.run_period_raw(&ControlInput::max_resources()).delay_s;
+        assert!(starved > 2.0 * free, "starved {starved} vs free {free}");
+    }
+
+    #[test]
+    fn censored_delay_when_nothing_completes() {
+        let mut t = des(Scenario::single_user(2.0)); // terrible channel
+        let mut c = ControlInput::max_resources();
+        c.airtime = 0.05;
+        let obs = t.run_period_raw(&c);
+        assert_eq!(obs.delay_s, t.period_duration_s);
+    }
+
+    #[test]
+    fn powers_within_calibrated_bands() {
+        let mut t = des(Scenario::single_user(35.0));
+        let obs = t.run_period_raw(&ControlInput::max_resources());
+        assert!((70.0..200.0).contains(&obs.server_power_w), "{}", obs.server_power_w);
+        assert!((4.0..8.0).contains(&obs.bs_power_w), "{}", obs.bs_power_w);
+    }
+
+    #[test]
+    fn ten_users_saturate_airtime_and_raise_bs_power() {
+        let mut one = des(Scenario::single_user(35.0));
+        let mut ten = des(Scenario::tenx_load(35.0));
+        let c = ControlInput::max_resources();
+        let p1 = one.run_period_raw(&c).bs_power_w;
+        let p10 = ten.run_period_raw(&c).bs_power_w;
+        assert!(p10 > p1 + 0.3, "10x load must raise BS power: {p10} vs {p1}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = DesTestbed::new(Calibration::default(), Scenario::single_user(30.0), 3);
+        let mut b = DesTestbed::new(Calibration::default(), Scenario::single_user(30.0), 3);
+        let c = ControlInput::max_resources();
+        assert_eq!(a.run_period_raw(&c), b.run_period_raw(&c));
+    }
+
+    #[test]
+    fn environment_step_adds_meter_noise() {
+        let mut a = DesTestbed::new(Calibration::default(), Scenario::single_user(30.0), 3);
+        let mut b = DesTestbed::new(Calibration::default(), Scenario::single_user(30.0), 3);
+        let c = ControlInput::max_resources();
+        let ra = a.step(&c);
+        let rb = b.run_period_raw(&c);
+        // Same underlying dynamics, but the metered powers differ slightly.
+        assert!((ra.server_power_w - rb.server_power_w).abs() < 0.1 * rb.server_power_w);
+        assert_eq!(ra.map, rb.map);
+    }
+
+    #[test]
+    fn context_reports_track_snr() {
+        let mut t = des(Scenario::single_user(35.0));
+        let ctx = t.observe_context();
+        assert!(ctx.mean_cqi > 12.0, "{}", ctx.mean_cqi);
+        let mut t_low = des(Scenario::single_user(3.0));
+        let ctx_low = t_low.observe_context();
+        assert!(ctx_low.mean_cqi < ctx.mean_cqi);
+    }
+
+    #[test]
+    fn state_persists_across_periods() {
+        let mut t = des(Scenario::single_user(35.0));
+        let c = ControlInput::max_resources();
+        t.run_period_raw(&c);
+        let before = t.period();
+        t.run_period_raw(&c);
+        assert_eq!(t.period(), before + 1);
+        assert!(t.now_s >= 2.0 * t.period_duration_s - 1e-9);
+    }
+}

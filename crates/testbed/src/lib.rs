@@ -1,0 +1,59 @@
+//! The prototype-replacement testbed simulator.
+//!
+//! The paper evaluates EdgeBOL on a physical rig: srsRAN vBS + UE over
+//! USRP B210 radios, an RTX 2080 Ti server running Detectron2, and a
+//! GW-Instek power meter. This crate replaces that rig with two
+//! cross-validated simulators over the models in `edgebol-ran`,
+//! `edgebol-edge` and `edgebol-media`:
+//!
+//! * [`FlowTestbed`] — a fast analytic evaluator of the closed-loop
+//!   steady state (fixed-point over transmission share and GPU queueing),
+//!   used by the learning loops (Figs. 9–14) where tens of thousands of
+//!   period evaluations are needed.
+//! * [`DesTestbed`] — a subframe-level (1 ms) discrete-event simulation
+//!   of the full pipeline — UE pre-processing, MAC grants, HARQ attempts,
+//!   GPU queueing, downlink return — used for validation and for the
+//!   measurement figures (Figs. 1–6).
+//!
+//! Both emit the same [`PeriodObservation`] (the four KPIs of §4.2:
+//! service delay `d`, precision `rho`, server power `p_s`, BS power `p_b`)
+//! behind the common [`Environment`] trait, with power-meter reading noise
+//! applied by [`meter::PowerMeter`]. [`FlowTestbed::expected`] exposes the
+//! noiseless steady state for the exhaustive-search oracle baseline.
+//!
+//! The service model is the paper's: each user runs a *closed loop* — it
+//! captures a frame, pre-processes, uploads over the LTE UL, waits for the
+//! GPU inference and the downlink reply, then immediately captures the
+//! next frame. The closed loop is what couples the radio and compute
+//! policies: cheaper radio configurations slow the request rate, which
+//! *unloads* the GPU — the central trade-off EdgeBOL exploits.
+
+pub mod calib;
+pub mod des;
+pub mod flow;
+pub mod meter;
+pub mod multiservice;
+pub mod observe;
+pub mod scenario;
+
+pub use calib::Calibration;
+pub use des::DesTestbed;
+pub use flow::FlowTestbed;
+pub use meter::PowerMeter;
+pub use multiservice::{MultiServiceTestbed, ServiceCfg};
+pub use observe::{ContextObs, ControlInput, PeriodObservation};
+pub use scenario::Scenario;
+
+/// A per-period environment: observe a context, apply a control policy,
+/// receive the period's KPIs. This is the loop of Algorithm 1 seen from
+/// the testbed side.
+pub trait Environment {
+    /// Observes the context at the start of the period (`c_t`).
+    fn observe_context(&mut self) -> ContextObs;
+
+    /// Runs one period under `control` and returns the noisy KPIs.
+    fn step(&mut self, control: &ControlInput) -> PeriodObservation;
+
+    /// Number of users currently in the slice.
+    fn num_users(&self) -> usize;
+}

@@ -1,0 +1,67 @@
+//! Power-meter reading noise (GW-Instek GPM-8213 stand-in).
+
+use edgebol_linalg::stats::normal;
+use rand::Rng;
+
+/// A sampling power meter with multiplicative Gaussian reading noise.
+///
+/// The paper's observations are explicitly noisy ("the observations of the
+/// performance indicators are noisy … since the system is stochastic in
+/// nature"); the learner's GP noise variance exists to absorb exactly this.
+#[derive(Debug, Clone)]
+pub struct PowerMeter {
+    /// Relative standard deviation of a reading.
+    rel_std: f64,
+}
+
+impl PowerMeter {
+    /// Creates a meter with the given relative reading noise.
+    ///
+    /// # Panics
+    /// Panics if `rel_std` is negative or not finite.
+    pub fn new(rel_std: f64) -> Self {
+        assert!(rel_std >= 0.0 && rel_std.is_finite(), "noise std must be non-negative");
+        PowerMeter { rel_std }
+    }
+
+    /// Samples a reading of a true power value (never negative).
+    pub fn read<R: Rng + ?Sized>(&self, true_power_w: f64, rng: &mut R) -> f64 {
+        (true_power_w * (1.0 + normal(rng, 0.0, self.rel_std))).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgebol_linalg::stats::Welford;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_noise_is_exact() {
+        let m = PowerMeter::new(0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(m.read(123.4, &mut rng), 123.4);
+    }
+
+    #[test]
+    fn readings_unbiased_with_configured_spread() {
+        let m = PowerMeter::new(0.02);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut w = Welford::new();
+        for _ in 0..20_000 {
+            w.push(m.read(100.0, &mut rng));
+        }
+        assert!((w.mean() - 100.0).abs() < 0.2, "mean {}", w.mean());
+        assert!((w.std() - 2.0).abs() < 0.2, "std {}", w.std());
+    }
+
+    #[test]
+    fn readings_never_negative() {
+        let m = PowerMeter::new(2.0); // absurd noise
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(m.read(1.0, &mut rng) >= 0.0);
+        }
+    }
+}

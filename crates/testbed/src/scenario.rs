@@ -1,0 +1,113 @@
+//! Experiment scenarios: user populations and SNR dynamics.
+
+use edgebol_ran::SnrTrace;
+use serde::{Deserialize, Serialize};
+
+/// One user's radio situation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UserCfg {
+    /// Mean uplink SNR (dB) relative to the scenario trace: the user's
+    /// effective mean SNR at period `t` is `trace.snr_at(t) + offset_db`.
+    pub offset_db: f64,
+}
+
+/// A full experiment scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// The base SNR trajectory (constant for static experiments,
+    /// [`SnrTrace::dynamic_fig13`] for Fig. 13).
+    pub trace: SnrTrace,
+    /// Users in the slice; `offset_db = 0` for a single nominal user.
+    pub users: Vec<UserCfg>,
+}
+
+impl Scenario {
+    /// Single user at a constant mean SNR — the setup of §6.2/§6.3
+    /// (35 dB = "good wireless conditions").
+    pub fn single_user(snr_db: f64) -> Self {
+        Scenario { trace: SnrTrace::constant(snr_db), users: vec![UserCfg { offset_db: 0.0 }] }
+    }
+
+    /// The §6.4 heterogeneous population: user 1 at 30 dB and every
+    /// additional user 20% lower (in dB), up to `n` users.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn heterogeneous(n: usize) -> Self {
+        assert!(n > 0, "need at least one user");
+        let base = 30.0;
+        let users = (0..n)
+            .map(|i| UserCfg { offset_db: base * 0.8f64.powi(i as i32) - base })
+            .collect();
+        Scenario { trace: SnrTrace::constant(base), users }
+    }
+
+    /// The Fig. 6 "10x load" scenario: ten identical users at good SNR.
+    pub fn tenx_load(snr_db: f64) -> Self {
+        Scenario {
+            trace: SnrTrace::constant(snr_db),
+            users: (0..10).map(|_| UserCfg { offset_db: 0.0 }).collect(),
+        }
+    }
+
+    /// The Fig. 13 dynamic-context scenario: one user, stepping SNR.
+    pub fn dynamic() -> Self {
+        Scenario { trace: SnrTrace::dynamic_fig13(), users: vec![UserCfg { offset_db: 0.0 }] }
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Mean SNR of user `i` at period `t`.
+    pub fn snr_db(&self, user: usize, period: usize) -> f64 {
+        self.trace.snr_at(period) + self.users[user].offset_db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_user_constant() {
+        let s = Scenario::single_user(35.0);
+        assert_eq!(s.num_users(), 1);
+        assert_eq!(s.snr_db(0, 0), 35.0);
+        assert_eq!(s.snr_db(0, 1000), 35.0);
+    }
+
+    #[test]
+    fn heterogeneous_degrades_20pct_per_user() {
+        let s = Scenario::heterogeneous(4);
+        assert_eq!(s.num_users(), 4);
+        assert!((s.snr_db(0, 0) - 30.0).abs() < 1e-12);
+        assert!((s.snr_db(1, 0) - 24.0).abs() < 1e-12);
+        assert!((s.snr_db(2, 0) - 19.2).abs() < 1e-12);
+        assert!((s.snr_db(3, 0) - 15.36).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tenx_load_has_ten_users() {
+        let s = Scenario::tenx_load(35.0);
+        assert_eq!(s.num_users(), 10);
+        for i in 0..10 {
+            assert_eq!(s.snr_db(i, 0), 35.0);
+        }
+    }
+
+    #[test]
+    fn dynamic_scenario_changes_over_time() {
+        let s = Scenario::dynamic();
+        let early = s.snr_db(0, 0);
+        let later = s.snr_db(0, 110);
+        assert_ne!(early, later);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn heterogeneous_rejects_zero_users() {
+        let _ = Scenario::heterogeneous(0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests of the testbed simulators.
+
+use edgebol_ran::Mcs;
+use edgebol_testbed::{
+    Calibration, ContextObs, ControlInput, DesTestbed, Environment, FlowTestbed, Scenario,
+};
+use proptest::prelude::*;
+
+fn arb_control() -> impl Strategy<Value = ControlInput> {
+    (0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0)
+        .prop_map(|(e, a, g, m)| ControlInput::from_unit(e, a, g, m))
+}
+
+proptest! {
+    /// The DES produces physical KPIs for any control and channel.
+    #[test]
+    fn des_outputs_physical(ctl in arb_control(), snr in 0.0f64..40.0) {
+        let mut des = DesTestbed::new(Calibration::fast(), Scenario::single_user(snr), 5);
+        let obs = des.run_period_raw(&ctl);
+        prop_assert!(obs.delay_s > 0.0 && obs.delay_s <= des.period_duration_s + 1e-9);
+        prop_assert!((0.0..=1.0).contains(&obs.map));
+        prop_assert!(obs.server_power_w >= 69.0 && obs.server_power_w < 270.0);
+        prop_assert!(obs.bs_power_w >= 4.0 && obs.bs_power_w < 8.0);
+        prop_assert!(obs.gpu_delay_s > 0.0 && obs.gpu_delay_s < des.period_duration_s);
+    }
+
+    /// Flow and DES order configurations the same way on delay: if flow
+    /// says A is much slower than B, the DES agrees on the direction.
+    #[test]
+    fn fidelities_agree_on_ordering(
+        a in arb_control(),
+        b in arb_control(),
+        snr in 15.0f64..40.0,
+    ) {
+        let flow = FlowTestbed::new(Calibration::default(), Scenario::single_user(snr), 1);
+        let fa = flow.steady_state(&[snr], &a).worst_delay_s();
+        let fb = flow.steady_state(&[snr], &b).worst_delay_s();
+        // Only check clearly-separated pairs (2x) within the DES-resolvable
+        // band (a 4 s period cannot resolve 10+ s configurations).
+        if fa > 2.0 * fb && fa < 3.0 {
+            let mut da = DesTestbed::new(Calibration::fast(), Scenario::single_user(snr), 2);
+            let mut db = DesTestbed::new(Calibration::fast(), Scenario::single_user(snr), 2);
+            let oa = da.run_period_raw(&a);
+            let ob = db.run_period_raw(&b);
+            prop_assert!(
+                oa.delay_s > ob.delay_s,
+                "flow says {fa:.2} >> {fb:.2} but DES says {:.2} vs {:.2}",
+                oa.delay_s,
+                ob.delay_s
+            );
+        }
+    }
+
+    /// The environment contract holds for any step order: contexts are
+    /// valid and periods advance.
+    #[test]
+    fn environment_contract(snr in 0.0f64..40.0, n in 1usize..5, steps in 1usize..5) {
+        let scenario = if n == 1 {
+            Scenario::single_user(snr)
+        } else {
+            Scenario::heterogeneous(n)
+        };
+        let mut env = FlowTestbed::new(Calibration::fast(), scenario, 3);
+        prop_assert_eq!(env.num_users(), n);
+        for _ in 0..steps {
+            let ctx: ContextObs = env.observe_context();
+            prop_assert_eq!(ctx.num_users, n);
+            prop_assert!((1.0..=15.0).contains(&ctx.mean_cqi));
+            prop_assert!(ctx.var_cqi >= 0.0);
+            let obs = env.step(&ControlInput::max_resources());
+            prop_assert!(obs.delay_s > 0.0);
+        }
+        prop_assert_eq!(env.period(), steps);
+    }
+
+    /// Worsening exactly one resource never reduces the flow-model delay
+    /// (component-wise monotonicity of the pipeline).
+    #[test]
+    fn delay_component_monotonicity(
+        base in arb_control(),
+        dim in 0usize..3,
+        snr in 10.0f64..40.0,
+    ) {
+        let flow = FlowTestbed::new(Calibration::default(), Scenario::single_user(snr), 4);
+        let mut worse = base;
+        match dim {
+            0 => worse.airtime = (base.airtime * 0.5).max(0.05),
+            1 => worse.gpu_speed = (base.gpu_speed * 0.5).max(0.0),
+            _ => {
+                worse.mcs_cap = Mcs::clamped(base.mcs_cap.index() as i64 / 2);
+            }
+        }
+        let d_base = flow.steady_state(&[snr], &base).worst_delay_s();
+        let d_worse = flow.steady_state(&[snr], &worse).worst_delay_s();
+        prop_assert!(
+            d_worse >= d_base - 1e-9,
+            "taking resources away reduced delay: {d_worse} < {d_base} (dim {dim})"
+        );
+    }
+
+    /// More users never reduce the worst-user delay (shared slice).
+    #[test]
+    fn delay_monotone_in_users(ctl in arb_control(), n in 1usize..5) {
+        let flow = FlowTestbed::new(Calibration::default(), Scenario::single_user(30.0), 6);
+        let few = flow.steady_state(&vec![30.0; n], &ctl).worst_delay_s();
+        let more = flow.steady_state(&vec![30.0; n + 1], &ctl).worst_delay_s();
+        // The share fixed point and the exclude-own-load queueing term
+        // interact, so the analytic model is monotone only up to ~5%;
+        // the DES (ground truth) is exactly monotone. This property bounds
+        // the approximation rather than asserting strict monotonicity.
+        prop_assert!(more >= few * 0.95, "adding a user sped things up: {more} < {few}");
+    }
+}

@@ -1,0 +1,28 @@
+//! `edgebol-suite` — umbrella crate of the EdgeBOL reproduction workspace.
+//!
+//! This crate exists to host the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`) that span multiple member
+//! crates. It re-exports every member so examples and downstream users can
+//! depend on a single crate:
+//!
+//! * [`linalg`] — dense linear algebra (Cholesky, triangular solves).
+//! * [`gp`] — Gaussian-process regression with Matérn kernels.
+//! * [`nn`] — minimal MLP/Adam substrate used by the DDPG baseline.
+//! * [`media`] — synthetic scenes, detector model, mAP evaluator.
+//! * [`ran`] — LTE vRAN model (MCS/TBS, scheduler, BBU power).
+//! * [`edge`] — GPU edge-server model.
+//! * [`oran`] — O-RAN A1/E2 control plane and transports.
+//! * [`testbed`] — discrete-event + flow-level testbed simulator.
+//! * [`bandit`] — contextual bandits: EdgeBOL, baselines, oracle, DDPG.
+//! * [`core`] — the EdgeBOL orchestration API (the paper's contribution).
+
+pub use edgebol_bandit as bandit;
+pub use edgebol_core as core;
+pub use edgebol_edge as edge;
+pub use edgebol_gp as gp;
+pub use edgebol_linalg as linalg;
+pub use edgebol_media as media;
+pub use edgebol_nn as nn;
+pub use edgebol_oran as oran;
+pub use edgebol_ran as ran;
+pub use edgebol_testbed as testbed;

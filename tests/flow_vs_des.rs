@@ -1,0 +1,138 @@
+//! Cross-validation of the two testbed fidelities.
+//!
+//! The flow-level analytic evaluator powers all learning experiments; the
+//! subframe-level DES is the ground truth it approximates. These tests
+//! sweep a grid of configurations and require the two to agree on every
+//! KPI within modest tolerances — the core validity argument for running
+//! Figs. 9–14 on the fast path.
+
+use edgebol_ran::Mcs;
+use edgebol_testbed::{Calibration, ControlInput, DesTestbed, FlowTestbed, Scenario};
+
+/// Median of the DES KPIs over a few periods (first discarded: pipeline
+/// fill).
+fn des_point(scenario: &Scenario, control: &ControlInput) -> (f64, f64, f64) {
+    let mut des = DesTestbed::new(Calibration::default(), scenario.clone(), 77);
+    let mut delays = Vec::new();
+    let mut srv = Vec::new();
+    let mut bs = Vec::new();
+    for p in 0..5 {
+        let obs = des.run_period_raw(control);
+        if p == 0 {
+            continue;
+        }
+        delays.push(obs.delay_s);
+        srv.push(obs.server_power_w);
+        bs.push(obs.bs_power_w);
+    }
+    let med = |v: &[f64]| edgebol_linalg::stats::percentile(v, 0.5);
+    (med(&delays), med(&srv), med(&bs))
+}
+
+fn assert_close(what: &str, flow: f64, des: f64, rel_tol: f64, ctl: &ControlInput) {
+    let rel = (flow - des).abs() / des.abs().max(1e-9);
+    assert!(
+        rel <= rel_tol,
+        "{what} disagrees for {ctl:?}: flow {flow:.4} vs DES {des:.4} ({:.0}% off)",
+        rel * 100.0
+    );
+}
+
+#[test]
+fn single_user_grid_agreement() {
+    let scenario = Scenario::single_user(35.0);
+    let flow = FlowTestbed::new(Calibration::default(), scenario.clone(), 1);
+    for &res in &[0.25, 0.5, 1.0] {
+        for &airtime in &[0.3, 1.0] {
+            for &gpu in &[0.2, 1.0] {
+                let control = ControlInput {
+                    resolution: res,
+                    airtime,
+                    gpu_speed: gpu,
+                    mcs_cap: Mcs::MAX,
+                };
+                let ss = flow.steady_state(&[35.0], &control);
+                let (d_des, srv_des, bs_des) = des_point(&scenario, &control);
+                assert_close("delay", ss.worst_delay_s(), d_des, 0.15, &control);
+                assert_close("server power", ss.server_power_w, srv_des, 0.12, &control);
+                assert_close("bs power", ss.bs_power_w, bs_des, 0.12, &control);
+            }
+        }
+    }
+}
+
+#[test]
+fn mcs_cap_agreement() {
+    let scenario = Scenario::single_user(35.0);
+    let flow = FlowTestbed::new(Calibration::default(), scenario.clone(), 2);
+    for &mcs in &[8u8, 16, 22, 28] {
+        let control =
+            ControlInput { resolution: 1.0, airtime: 1.0, gpu_speed: 1.0, mcs_cap: Mcs(mcs) };
+        let ss = flow.steady_state(&[35.0], &control);
+        let (d_des, _, bs_des) = des_point(&scenario, &control);
+        assert_close("delay", ss.worst_delay_s(), d_des, 0.15, &control);
+        assert_close("bs power", ss.bs_power_w, bs_des, 0.15, &control);
+    }
+}
+
+#[test]
+fn poor_channel_agreement_with_harq() {
+    // At 10 dB the link runs mid-MCS with retransmissions: both models
+    // must account for HARQ consistently.
+    let scenario = Scenario::single_user(10.0);
+    let flow = FlowTestbed::new(Calibration::default(), scenario.clone(), 3);
+    let control = ControlInput {
+        resolution: 0.5,
+        airtime: 1.0,
+        gpu_speed: 1.0,
+        mcs_cap: Mcs::MAX,
+    };
+    let ss = flow.steady_state(&[10.0], &control);
+    let (d_des, _, _) = des_point(&scenario, &control);
+    assert_close("delay", ss.worst_delay_s(), d_des, 0.20, &control);
+}
+
+#[test]
+fn multi_user_agreement() {
+    let scenario = Scenario::heterogeneous(3);
+    let flow = FlowTestbed::new(Calibration::default(), scenario.clone(), 4);
+    let snrs = [30.0, 24.0, 19.2];
+    let control = ControlInput {
+        resolution: 0.75,
+        airtime: 1.0,
+        gpu_speed: 1.0,
+        mcs_cap: Mcs::MAX,
+    };
+    let ss = flow.steady_state(&snrs, &control);
+    let (d_des, srv_des, bs_des) = des_point(&scenario, &control);
+    // Multi-user sharing adds approximation error (round-robin vs the
+    // fixed-point share model): looser tolerances.
+    assert_close("delay", ss.worst_delay_s(), d_des, 0.30, &control);
+    assert_close("server power", ss.server_power_w, srv_des, 0.15, &control);
+    assert_close("bs power", ss.bs_power_w, bs_des, 0.15, &control);
+}
+
+#[test]
+fn both_models_reproduce_fig2_directionality() {
+    // The qualitative trade-offs must agree even where magnitudes drift:
+    // low res => higher server power; low airtime => higher delay.
+    let scenario = Scenario::single_user(35.0);
+    let flow = FlowTestbed::new(Calibration::default(), scenario.clone(), 5);
+    let base = ControlInput::max_resources();
+    let mut low_res = base;
+    low_res.resolution = 0.25;
+    let mut low_air = base;
+    low_air.airtime = 0.2;
+
+    let f_base = flow.steady_state(&[35.0], &base);
+    let f_low_res = flow.steady_state(&[35.0], &low_res);
+    let f_low_air = flow.steady_state(&[35.0], &low_air);
+    assert!(f_low_res.server_power_w > f_base.server_power_w);
+    assert!(f_low_air.worst_delay_s() > f_base.worst_delay_s());
+
+    let (d_base, srv_base, _) = des_point(&scenario, &base);
+    let (_, srv_low_res, _) = des_point(&scenario, &low_res);
+    let (d_low_air, _, _) = des_point(&scenario, &low_air);
+    assert!(srv_low_res > srv_base);
+    assert!(d_low_air > d_base);
+}

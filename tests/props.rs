@@ -1,0 +1,161 @@
+//! Property-based tests of cross-crate invariants (proptest).
+
+use bytes::BytesMut;
+use edgebol_gp::{GaussianProcess, Kernel};
+use edgebol_linalg::{Cholesky, Mat};
+use edgebol_media::{mean_average_precision, Dataset, DetectorModel};
+use edgebol_oran::{E2Codec, E2Message, KpiReport};
+use edgebol_ran::{bler, cqi_from_snr, max_mcs_for_cqi, tbs_bits, Mcs};
+use edgebol_testbed::{Calibration, ControlInput, FlowTestbed, Scenario};
+use proptest::prelude::*;
+
+proptest! {
+    /// Cholesky solve must invert `A x = b` for any random SPD matrix.
+    #[test]
+    fn cholesky_solves_random_spd(
+        vals in proptest::collection::vec(-1.0f64..1.0, 25),
+        b in proptest::collection::vec(-10.0f64..10.0, 5),
+    ) {
+        let g = Mat::from_vec(5, 5, vals);
+        let mut a = g.matmul(&g.transpose());
+        a.add_diagonal(5.0);
+        let ch = Cholesky::factor(&a).unwrap();
+        let x = ch.solve(&b);
+        let back = a.matvec(&x);
+        for (got, want) in back.iter().zip(&b) {
+            prop_assert!((got - want).abs() < 1e-6, "residual {} vs {}", got, want);
+        }
+    }
+
+    /// GP posterior std never exceeds the prior std, and predictions at
+    /// observed points approach the observations.
+    #[test]
+    fn gp_posterior_contracts(
+        xs in proptest::collection::vec(0.0f64..1.0, 3..15),
+        query in 0.0f64..1.0,
+    ) {
+        let mut gp = GaussianProcess::new(Kernel::matern32(2.0, vec![0.3]), 1e-4);
+        for (i, &x) in xs.iter().enumerate() {
+            gp.observe(&[x], (i % 5) as f64).unwrap();
+        }
+        let (_, s) = gp.predict(&[query]);
+        prop_assert!(s <= 2.0f64.sqrt() + 1e-9, "posterior std {} above prior", s);
+        prop_assert!(s >= 0.0);
+    }
+
+    /// The mAP metric is always within [0, 1] for any detector run.
+    #[test]
+    fn map_is_a_probability(res in 0.1f64..=1.0, seed in 0u64..1000) {
+        let ds = Dataset::generate(20, seed);
+        let m = ds.evaluate_map(&DetectorModel::default(), res, seed ^ 0xF00);
+        prop_assert!((0.0..=1.0).contains(&m), "mAP {m}");
+    }
+
+    /// An empty detection set gives mAP 0 when ground truth exists.
+    #[test]
+    fn no_detections_zero_map(seed in 0u64..200) {
+        let ds = Dataset::generate(5, seed);
+        let pairs: Vec<_> = ds.scenes().iter().map(|s| (s, &[][..])).collect();
+        let bd = mean_average_precision(&pairs, 0.5);
+        prop_assert_eq!(bd.map, 0.0);
+    }
+
+    /// PHY tables: CQI→MCS→BLER consistency for any SNR.
+    #[test]
+    fn phy_tables_consistent(snr in -20.0f64..45.0) {
+        let cqi = cqi_from_snr(snr);
+        prop_assert!((1..=15).contains(&cqi));
+        let mcs = max_mcs_for_cqi(cqi);
+        prop_assert!(mcs.index() <= 28);
+        let b = bler(snr, mcs);
+        prop_assert!((0.0..=1.0).contains(&b));
+        prop_assert!(tbs_bits(mcs, 22) > 0.0);
+    }
+
+    /// E2 codec round-trips arbitrary well-formed messages.
+    #[test]
+    fn e2_codec_roundtrip(
+        t_ms in 0u64..u64::MAX / 2,
+        power in 0u64..1_000_000,
+        duty in 0u16..=1000,
+        mcs in 0u16..=2800,
+    ) {
+        let msg = E2Message::Indication(KpiReport {
+            t_ms,
+            bs_power_mw: power,
+            duty_milli: duty,
+            mean_mcs_centi: mcs,
+        });
+        let mut buf = BytesMut::new();
+        E2Codec::encode(&msg, &mut buf);
+        let got = E2Codec::decode(&mut buf).unwrap().unwrap();
+        prop_assert_eq!(got, msg);
+        prop_assert!(buf.is_empty());
+    }
+
+    /// Control round-trip: unit -> physical -> unit is identity up to MCS
+    /// quantization.
+    #[test]
+    fn control_unit_roundtrip(
+        eta in 0.0f64..=1.0,
+        a in 0.0f64..=1.0,
+        g in 0.0f64..=1.0,
+        m in 0.0f64..=1.0,
+    ) {
+        let c = ControlInput::from_unit(eta, a, g, m);
+        let u = c.to_unit();
+        prop_assert!((u[0] - eta).abs() < 1e-9);
+        prop_assert!((u[1] - a).abs() < 1e-9);
+        prop_assert!((u[2] - g).abs() < 1e-9);
+        prop_assert!((u[3] - m).abs() <= 0.5 / 28.0 + 1e-9);
+    }
+
+    /// The flow steady state stays physical for ANY control and channel:
+    /// finite positive delays, powers within the hardware envelopes,
+    /// occupancy within the airtime cap.
+    #[test]
+    fn steady_state_always_physical(
+        eta in 0.0f64..=1.0,
+        a in 0.0f64..=1.0,
+        g in 0.0f64..=1.0,
+        m in 0.0f64..=1.0,
+        snr in -5.0f64..40.0,
+        n_users in 1usize..5,
+    ) {
+        let flow = FlowTestbed::new(Calibration::default(), Scenario::single_user(snr), 9);
+        let control = ControlInput::from_unit(eta, a, g, m);
+        let snrs = vec![snr; n_users];
+        let ss = flow.steady_state(&snrs, &control);
+        for &d in &ss.delays_s {
+            prop_assert!(d.is_finite() && d > 0.0, "delay {d}");
+            prop_assert!(d < 3600.0, "absurd delay {d}");
+        }
+        prop_assert!((0.0..=1.0).contains(&ss.gpu_utilization));
+        prop_assert!(ss.server_power_w >= 69.0 && ss.server_power_w <= 270.0,
+            "server power {}", ss.server_power_w);
+        prop_assert!(ss.bs_power_w >= 4.0 && ss.bs_power_w <= 8.0,
+            "bs power {}", ss.bs_power_w);
+        let occ: f64 = ss.occupancy.iter().sum();
+        prop_assert!(occ <= control.airtime + 1e-9, "occupancy {} > airtime", occ);
+    }
+
+    /// Higher resolution never reduces the steady-state transmission-bound
+    /// delay (all else equal, single user).
+    #[test]
+    fn delay_monotone_in_resolution(
+        a in 0.2f64..=1.0,
+        g in 0.0f64..=1.0,
+        snr in 10.0f64..40.0,
+    ) {
+        let flow = FlowTestbed::new(Calibration::default(), Scenario::single_user(snr), 10);
+        let mk = |res: f64| ControlInput {
+            resolution: res,
+            airtime: a,
+            gpu_speed: g,
+            mcs_cap: Mcs::MAX,
+        };
+        let lo = flow.steady_state(&[snr], &mk(0.3)).worst_delay_s();
+        let hi = flow.steady_state(&[snr], &mk(0.9)).worst_delay_s();
+        prop_assert!(hi >= lo, "delay not monotone: {hi} < {lo}");
+    }
+}
