@@ -263,15 +263,13 @@ mod tests {
             agent.update(&ctx, &a, &Feedback { cost, delay_s: 0.0, map: 1.0 });
         }
         let greedy = agent.greedy_action(&ctx);
-        let err: f64 =
-            greedy.iter().zip(&target).map(|(a, t)| (a - t).abs()).fold(0.0, f64::max);
+        let err: f64 = greedy.iter().zip(&target).map(|(a, t)| (a - t).abs()).fold(0.0, f64::max);
         assert!(err < 0.15, "greedy {greedy:?} vs target {target:?}");
     }
 
     #[test]
     fn violations_are_charged_the_max_cost() {
-        let mut agent =
-            Ddpg::new(DdpgConfig::default(), Constraints { d_max: 0.4, rho_min: 0.5 });
+        let mut agent = Ddpg::new(DdpgConfig::default(), Constraints { d_max: 0.4, rho_min: 0.5 });
         // Establish a max cost.
         let ok = Feedback { cost: 250.0, delay_s: 0.3, map: 0.6 };
         assert_eq!(agent.ddpg_cost(&ok), 250.0);
@@ -286,8 +284,7 @@ mod tests {
 
     #[test]
     fn actions_live_in_the_unit_box() {
-        let mut agent =
-            Ddpg::new(DdpgConfig::default(), Constraints { d_max: 0.4, rho_min: 0.5 });
+        let mut agent = Ddpg::new(DdpgConfig::default(), Constraints { d_max: 0.4, rho_min: 0.5 });
         for i in 0..50 {
             let ctx = [i as f64 / 50.0, 0.5, 0.2];
             let a = agent.select_action(&ctx);
@@ -298,8 +295,7 @@ mod tests {
 
     #[test]
     fn noise_decays_with_updates() {
-        let mut agent =
-            Ddpg::new(DdpgConfig::default(), Constraints { d_max: 0.4, rho_min: 0.5 });
+        let mut agent = Ddpg::new(DdpgConfig::default(), Constraints { d_max: 0.4, rho_min: 0.5 });
         let s0 = agent.noise_std();
         let ctx = [0.1, 0.2, 0.3];
         for _ in 0..200 {
@@ -325,9 +321,6 @@ mod tests {
         }
         let lo = agent.greedy_action(&[0.2])[0];
         let hi = agent.greedy_action(&[0.8])[0];
-        assert!(
-            hi - lo > 0.3,
-            "policy must track the context: pi(0.2)={lo:.2}, pi(0.8)={hi:.2}"
-        );
+        assert!(hi - lo > 0.3, "policy must track the context: pi(0.2)={lo:.2}, pi(0.8)={hi:.2}");
     }
 }

@@ -126,7 +126,7 @@ struct Scale {
 }
 
 impl Scale {
-    fn to_scaled(&self, raw: f64) -> f64 {
+    fn to_scaled(self, raw: f64) -> f64 {
         (raw - self.mean) / self.std
     }
 
@@ -243,11 +243,7 @@ impl EdgeBol {
 
     /// Posterior over the candidates for all three functions, in raw
     /// (unstandardized) units. Returns `(means, stds)` per function.
-    fn posterior(
-        &mut self,
-        context: &[f64],
-        cand: &[usize],
-    ) -> [(Vec<f64>, Vec<f64>); 3] {
+    fn posterior(&mut self, context: &[f64], cand: &[usize]) -> [(Vec<f64>, Vec<f64>); 3] {
         let dims = self.cfg.context_dims + self.grid.dims();
         let mut flat = Vec::with_capacity(cand.len() * dims);
         for &idx in cand {
@@ -274,11 +270,7 @@ impl EdgeBol {
     /// the (frozen) observation-noise std: eq. (2) constrains the *noisy
     /// realizations* `d_t`, `rho_t`, so a control whose latent mean hugs
     /// the boundary would still violate ~half the periods.
-    fn safe_mask(
-        &self,
-        delay: &(Vec<f64>, Vec<f64>),
-        map: &(Vec<f64>, Vec<f64>),
-    ) -> Vec<bool> {
+    fn safe_mask(&self, delay: &(Vec<f64>, Vec<f64>), map: &(Vec<f64>, Vec<f64>)) -> Vec<bool> {
         let b = self.cfg.beta_sqrt;
         let c = self.constraints;
         // Observation-noise backoff at a ~90% one-sided quantile: the
@@ -329,8 +321,7 @@ impl EdgeBol {
             return self.s0.len();
         }
         let n = samples.min(self.grid.len()).max(1);
-        let cand: Vec<usize> =
-            (0..n).map(|_| self.rng.random_range(0..self.grid.len())).collect();
+        let cand: Vec<usize> = (0..n).map(|_| self.rng.random_range(0..self.grid.len())).collect();
         let [_, delay, map] = self.posterior(context, &cand);
         let mask = self.safe_mask(&delay, &map);
         let hits = mask.iter().filter(|&&m| m).count();
@@ -371,16 +362,13 @@ impl EdgeBol {
             // conservative floor (see `min_prior_var`).
             let ctx_dims = self.cfg.context_dims;
             // Lower bound 0.3: the warm-up box spans only ~0.2 of each
-                // control dimension, so shorter scales are not identifiable
-                // from the prior data — and they cripple safe-set expansion.
-                let ls_bounds = (0.3f64, 0.8f64);
+            // control dimension, so shorter scales are not identifiable
+            // from the prior data — and they cripple safe-set expansion.
+            let ls_bounds = (0.3f64, 0.8f64);
             let noise_bounds = (1e-4f64, 0.3f64);
             for k in 0..3 {
-                let ys: Vec<f64> = self
-                    .warmup_data
-                    .iter()
-                    .map(|(_, y)| scales[k].to_scaled(y[k]))
-                    .collect();
+                let ys: Vec<f64> =
+                    self.warmup_data.iter().map(|(_, y)| scales[k].to_scaled(y[k])).collect();
                 let data = &self.warmup_data;
                 let objective = |p: &[f64]| -> f64 {
                     let ls_ctx = 10f64.powf(p[0]).clamp(ls_bounds.0, ls_bounds.1);
@@ -388,8 +376,7 @@ impl EdgeBol {
                     let noise = 10f64.powf(p[2]).clamp(noise_bounds.0, noise_bounds.1);
                     let mut ls = vec![ls_ctx; ctx_dims];
                     ls.extend(vec![ls_ctl; dims - ctx_dims]);
-                    let mut gp =
-                        GaussianProcess::new(Kernel::matern32(prior_var, ls), noise);
+                    let mut gp = GaussianProcess::new(Kernel::matern32(prior_var, ls), noise);
                     for ((z, _), y) in data.iter().zip(&ys) {
                         if gp.observe(z, *y).is_err() {
                             return f64::INFINITY;
@@ -427,9 +414,7 @@ impl EdgeBol {
         // Replay warm-up observations.
         for (z, y) in &self.warmup_data {
             for k in 0..3 {
-                gps[k]
-                    .observe(z, scales[k].to_scaled(y[k]))
-                    .expect("warmup replay cannot fail");
+                gps[k].observe(z, scales[k].to_scaled(y[k])).expect("warmup replay cannot fail");
             }
         }
         for k in 0..3 {
@@ -480,7 +465,7 @@ impl GridAgent for EdgeBol {
                 continue;
             }
             let s = score(j);
-            if best.map_or(true, |(_, bs)| s < bs) {
+            if best.is_none_or(|(_, bs)| s < bs) {
                 best = Some((idx, s));
             }
         }
@@ -604,29 +589,19 @@ mod tests {
         let (agent, history) = run_toy(c, 60);
         let opt = toy.optimal_cost(agent.grid());
         // Average cost over the last 10 periods within 10% of optimal.
-        let tail: f64 =
-            history[50..].iter().map(|f| f.cost).sum::<f64>() / 10.0;
+        let tail: f64 = history[50..].iter().map(|f| f.cost).sum::<f64>() / 10.0;
         // The safe set deliberately backs off the boundary by
         // beta * (sigma + noise std), so allow that margin over the
         // noiseless optimum.
-        assert!(
-            tail < opt * 1.25,
-            "converged cost {tail:.1} vs optimal {opt:.1}"
-        );
+        assert!(tail < opt * 1.25, "converged cost {tail:.1} vs optimal {opt:.1}");
     }
 
     #[test]
     fn constraint_violations_are_rare_after_warmup() {
         let c = cfg();
         let (_, history) = run_toy(c, 80);
-        let violations = history[8..]
-            .iter()
-            .filter(|f| f.delay_s > 0.5 + 1e-9)
-            .count();
-        assert!(
-            violations <= 8,
-            "{violations} violations in 72 post-warmup periods"
-        );
+        let violations = history[8..].iter().filter(|f| f.delay_s > 0.5 + 1e-9).count();
+        assert!(violations <= 8, "{violations} violations in 72 post-warmup periods");
     }
 
     #[test]

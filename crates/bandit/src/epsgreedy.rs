@@ -62,7 +62,7 @@ impl GridAgent for EpsGreedy {
             if c == 0 {
                 continue;
             }
-            if best.map_or(true, |(_, bv)| m < bv) {
+            if best.is_none_or(|(_, bv)| m < bv) {
                 best = Some((i, m));
             }
         }
@@ -118,11 +118,7 @@ mod tests {
         let grid = ControlGrid::new(3, 2);
         let eval = |grid: &ControlGrid, i: usize| {
             let c = grid.coords(i);
-            Feedback {
-                cost: 10.0 + 100.0 * (c[0] + c[1]),
-                delay_s: 0.1,
-                map: 1.0,
-            }
+            Feedback { cost: 10.0 + 100.0 * (c[0] + c[1]), delay_s: 0.1, map: 1.0 }
         };
         let mut a = EpsGreedy::new(grid.clone(), constraints(), 1000.0, 2);
         for _ in 0..600 {

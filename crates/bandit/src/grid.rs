@@ -57,10 +57,10 @@ impl ControlGrid {
         assert!(idx < self.len(), "grid index out of range");
         let mut rem = idx;
         let mut out = vec![0.0; self.dims];
-        for d in 0..self.dims {
+        for c in out.iter_mut() {
             let level = rem % self.levels;
             rem /= self.levels;
-            out[d] = level as f64 / (self.levels - 1) as f64;
+            *c = level as f64 / (self.levels - 1) as f64;
         }
         out
     }
@@ -74,8 +74,8 @@ impl ControlGrid {
         let mut idx = 0usize;
         let mut stride = 1usize;
         for &c in coords {
-            let level =
-                ((c.clamp(0.0, 1.0) * (self.levels - 1) as f64).round() as usize).min(self.levels - 1);
+            let level = ((c.clamp(0.0, 1.0) * (self.levels - 1) as f64).round() as usize)
+                .min(self.levels - 1);
             idx += level * stride;
             stride *= self.levels;
         }
@@ -92,9 +92,7 @@ impl ControlGrid {
     /// (max-resource controls are delay-minimal, hence feasible whenever
     /// the problem is feasible at all).
     pub fn corner_box(&self, threshold: f64) -> Vec<usize> {
-        (0..self.len())
-            .filter(|&i| self.coords(i).iter().all(|&c| c >= threshold))
-            .collect()
+        (0..self.len()).filter(|&i| self.coords(i).iter().all(|&c| c >= threshold)).collect()
     }
 
     /// One-step axis neighbours of a grid point (up to `2 * dims`).
@@ -107,11 +105,11 @@ impl ControlGrid {
         }
         let mut out = Vec::with_capacity(2 * self.dims);
         let mut stride = 1usize;
-        for d in 0..self.dims {
-            if levels[d] > 0 {
+        for &level in &levels {
+            if level > 0 {
                 out.push(idx - stride);
             }
-            if levels[d] + 1 < self.levels {
+            if level + 1 < self.levels {
                 out.push(idx + stride);
             }
             stride *= self.levels;

@@ -43,12 +43,12 @@ impl Oracle {
         let mut feasible_count = 0usize;
         for idx in 0..grid.len() {
             let (cost, delay, map) = eval(idx);
-            if fallback.map_or(true, |(_, d)| delay < d) {
+            if fallback.is_none_or(|(_, d)| delay < d) {
                 fallback = Some((idx, delay));
             }
             if constraints.satisfied(delay, map) {
                 feasible_count += 1;
-                if best.map_or(true, |(_, c)| cost < c) {
+                if best.is_none_or(|(_, c)| cost < c) {
                     best = Some((idx, cost));
                 }
             }
@@ -59,7 +59,12 @@ impl Oracle {
             }
             None => {
                 let (idx, _) = fallback.expect("grid is never empty");
-                OracleOutcome { best_idx: idx, best_cost: f64::NAN, feasible_count: 0, feasible: false }
+                OracleOutcome {
+                    best_idx: idx,
+                    best_cost: f64::NAN,
+                    feasible_count: 0,
+                    feasible: false,
+                }
             }
         }
     }

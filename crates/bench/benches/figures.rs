@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use edgebol_bandit::{Constraints, ControlGrid, EdgeBolConfig, Oracle};
-use edgebol_bench::sweep::{control, measure};
 use edgebol_bench::run_once;
+use edgebol_bench::sweep::{control, measure};
 use edgebol_core::agent::{DdpgAgent, EdgeBolAgent};
 use edgebol_core::problem::ProblemSpec;
 use edgebol_testbed::{Calibration, ControlInput, FlowTestbed, Scenario};
@@ -45,14 +45,7 @@ fn bench_fig09(c: &mut Criterion) {
     c.bench_function("fig09_convergence_30_periods", |b| {
         b.iter(|| {
             let env = FlowTestbed::new(Calibration::fast(), Scenario::single_user(35.0), 1);
-            run_once(
-                Box::new(env),
-                Box::new(quick_agent(&spec, 2)),
-                spec,
-                30,
-                false,
-                Vec::new(),
-            )
+            run_once(Box::new(env), Box::new(quick_agent(&spec, 2)), spec, 30, false, Vec::new())
         })
     });
 }
@@ -101,14 +94,7 @@ fn bench_fig12(c: &mut Criterion) {
     c.bench_function("fig12_heterogeneous_30_periods", |b| {
         b.iter(|| {
             let env = FlowTestbed::new(Calibration::fast(), Scenario::heterogeneous(4), 5);
-            run_once(
-                Box::new(env),
-                Box::new(quick_agent(&spec, 6)),
-                spec,
-                30,
-                false,
-                Vec::new(),
-            )
+            run_once(Box::new(env), Box::new(quick_agent(&spec, 6)), spec, 30, false, Vec::new())
         })
     });
 }
@@ -119,14 +105,7 @@ fn bench_fig13(c: &mut Criterion) {
     c.bench_function("fig13_dynamic_30_periods_safeset", |b| {
         b.iter(|| {
             let env = FlowTestbed::new(Calibration::fast(), Scenario::dynamic(), 7);
-            run_once(
-                Box::new(env),
-                Box::new(quick_agent(&spec, 8)),
-                spec,
-                30,
-                true,
-                Vec::new(),
-            )
+            run_once(Box::new(env), Box::new(quick_agent(&spec, 8)), spec, 30, true, Vec::new())
         })
     });
 }

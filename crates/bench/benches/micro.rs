@@ -32,10 +32,7 @@ fn bench_linalg(c: &mut Criterion) {
     let base = Cholesky::factor(&spd(150)).unwrap();
     let cross: Vec<f64> = (0..150).map(|i| (-(i as f64) / 8.0).exp()).collect();
     c.bench_function("cholesky_append_row_150", |b| {
-        b.iter_with_setup(
-            || base.clone(),
-            |mut ch| ch.append(black_box(&cross), 1.2).unwrap(),
-        )
+        b.iter_with_setup(|| base.clone(), |mut ch| ch.append(black_box(&cross), 1.2).unwrap())
     });
 }
 

@@ -24,7 +24,6 @@ fn main() {
     let delta2 = 4.0;
 
     let scenario = Scenario::heterogeneous(n_users);
-    let probe = FlowTestbed::new(Calibration::default(), scenario.clone(), 0);
     let snrs: Vec<f64> = (0..n_users).map(|i| scenario.snr_db(i, 0)).collect();
 
     let mut table = Table::new(
@@ -34,10 +33,11 @@ fn main() {
 
     for (label, per_user) in [("aggregated [n, mean, var]", false), ("per-user CQIs", true)] {
         let ctx_dims = if per_user { 1 + n_users } else { 3 };
-        let mut tails = Vec::new();
-        let mut viols = Vec::new();
-        let mut convs = Vec::new();
-        for rep in 0..reps as u64 {
+        // Repetitions are independent: run them on the shared pool, each
+        // with its own steady-state probe and noise stream.
+        let reps_out = edgebol_bench::parallel_map(reps, |rep| {
+            let rep = rep as u64;
+            let probe = FlowTestbed::new(Calibration::default(), scenario.clone(), 0);
             let mut rng = SmallRng::seed_from_u64(0xCC0 + rep);
             let mut cfg = EdgeBolConfig::paper(constraints);
             cfg.context_dims = ctx_dims;
@@ -65,8 +65,7 @@ fn main() {
                 let c = grid.coords(idx);
                 let control = ControlInput::from_unit(c[0], c[1], c[2], c[3]);
                 let ss = probe.steady_state(&snrs, &control);
-                let rho = probe.expected_map(control.resolution)
-                    + normal(&mut rng, 0.0, 0.02);
+                let rho = probe.expected_map(control.resolution) + normal(&mut rng, 0.0, 0.02);
                 let delay = ss.worst_delay_s() * (1.0 + normal(&mut rng, 0.0, 0.03));
                 let cost = ss.server_power_w + delta2 * ss.bs_power_w;
                 if !(delay <= constraints.d_max && rho >= constraints.rho_min) {
@@ -75,17 +74,23 @@ fn main() {
                 costs.push(cost);
                 agent.update(&ctx, idx, &Feedback { cost, delay_s: delay, map: rho });
             }
-            tails.push(costs[periods - 20..].iter().sum::<f64>() / 20.0);
-            viols.push(violations as f64 / periods as f64);
+            let tail = costs[periods - 20..].iter().sum::<f64>() / 20.0;
             // Convergence: last time cost left a 10% band around the tail.
-            let target = tails[tails.len() - 1];
             let mut conv = 0;
             for (i, &c) in costs.iter().enumerate() {
-                if (c - target).abs() > target * 0.10 {
+                if (c - tail).abs() > tail * 0.10 {
                     conv = i + 1;
                 }
             }
-            convs.push(conv as f64);
+            (tail, violations as f64 / periods as f64, conv as f64)
+        });
+        let mut tails = Vec::new();
+        let mut viols = Vec::new();
+        let mut convs = Vec::new();
+        for (tail, viol, conv) in reps_out {
+            tails.push(tail);
+            viols.push(viol);
+            convs.push(conv);
         }
         table.push_row(vec![
             label.to_string(),

@@ -48,12 +48,9 @@ fn main() {
             },
         );
         let tail: Vec<f64> = traces.iter().map(|t| t.tail_mean_cost(20)).collect();
-        let viol: Vec<f64> =
-            traces.iter().map(|t| 1.0 - t.satisfaction_rate(12)).collect();
-        let conv: Vec<f64> = traces
-            .iter()
-            .filter_map(|t| t.convergence_period(0.10).map(|c| c as f64))
-            .collect();
+        let viol: Vec<f64> = traces.iter().map(|t| 1.0 - t.satisfaction_rate(12)).collect();
+        let conv: Vec<f64> =
+            traces.iter().filter_map(|t| t.convergence_period(0.10).map(|c| c as f64)).collect();
         table.push_row(vec![
             label.to_string(),
             f1(edgebol_bench::median(&tail)),

@@ -19,12 +19,10 @@ fn main() {
     let periods = env_usize("EDGEBOL_PERIODS", 150);
     let spec = ProblemSpec::convergence(8.0);
 
-    type AgentFactory = Box<dyn Fn(u64) -> Box<dyn Agent>>;
+    // `Sync` so the parallel runner can call the factory from its workers.
+    type AgentFactory = Box<dyn Fn(u64) -> Box<dyn Agent> + Sync>;
     let agents: Vec<(&str, AgentFactory)> = vec![
-        (
-            "EdgeBOL",
-            Box::new(move |seed| Box::new(EdgeBolAgent::paper(&spec, 0x10 + seed))),
-        ),
+        ("EdgeBOL", Box::new(move |seed| Box::new(EdgeBolAgent::paper(&spec, 0x10 + seed)))),
         (
             "EdgeBOL-TS (extension)",
             Box::new(move |seed| {
@@ -43,14 +41,8 @@ fn main() {
                 Box::new(EdgeBolAgent::with_config(&spec, cfg))
             }),
         ),
-        (
-            "eps-greedy",
-            Box::new(move |seed| Box::new(EpsGreedyAgent::new(&spec, 0x40 + seed))),
-        ),
-        (
-            "DDPG",
-            Box::new(move |seed| Box::new(DdpgAgent::new(&spec, 0x50 + seed))),
-        ),
+        ("eps-greedy", Box::new(move |seed| Box::new(EpsGreedyAgent::new(&spec, 0x40 + seed)))),
+        ("DDPG", Box::new(move |seed| Box::new(DdpgAgent::new(&spec, 0x50 + seed)))),
     ];
 
     let mut table = Table::new(
@@ -73,10 +65,8 @@ fn main() {
         );
         let tails: Vec<f64> = traces.iter().map(|t| t.tail_mean_cost(20)).collect();
         let viols: Vec<f64> = traces.iter().map(|t| 1.0 - t.satisfaction_rate(15)).collect();
-        let convs: Vec<f64> = traces
-            .iter()
-            .filter_map(|t| t.convergence_period(0.10).map(|c| c as f64))
-            .collect();
+        let convs: Vec<f64> =
+            traces.iter().filter_map(|t| t.convergence_period(0.10).map(|c| c as f64)).collect();
         table.push_row(vec![
             name.to_string(),
             f1(edgebol_bench::median(&tails)),

@@ -32,8 +32,5 @@ fn main() {
         "delay improvement at 25% vs 100% res: {:.0}%  (paper: up to 72%)",
         (hi.delay_s - lo.delay_s) / hi.delay_s * 100.0
     );
-    println!(
-        "precision reduction: {:.0}%  (paper: 10–50%)",
-        (hi.map - lo.map) / hi.map * 100.0
-    );
+    println!("precision reduction: {:.0}%  (paper: 10–50%)", (hi.map - lo.map) / hi.map * 100.0);
 }

@@ -22,11 +22,7 @@ fn main() {
         let p = measure(&scenario, &control(res, 1.0, 1.0, 28), reps, periods);
         table.push_row(vec![f3(res), f1(p.server_power_w), f3(p.map)]);
         if let Some((prev_power, prev_map)) = prev {
-            assert!(
-                p.map > prev_map,
-                "mAP must rise with resolution ({} vs {prev_map})",
-                p.map
-            );
+            assert!(p.map > prev_map, "mAP must rise with resolution ({} vs {prev_map})", p.map);
             // The inversion: power falls as precision rises.
             if p.server_power_w >= prev_power {
                 eprintln!(

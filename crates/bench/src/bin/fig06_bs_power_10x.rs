@@ -24,12 +24,7 @@ fn main() {
         for &res in &[0.25, 1.0] {
             for &mcs in &[4u8, 8, 12, 16, 20, 24, 28] {
                 let p = measure(&scenario, &control(res, airtime, 1.0, mcs), reps, periods);
-                table.push_row(vec![
-                    f3(airtime),
-                    f3(res),
-                    format!("{mcs}"),
-                    f1(p.bs_power_w),
-                ]);
+                table.push_row(vec![f3(airtime), f3(res), format!("{mcs}"), f1(p.bs_power_w)]);
             }
         }
     }

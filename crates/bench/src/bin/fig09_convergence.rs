@@ -71,10 +71,8 @@ fn main() {
             ]);
         }
 
-        let conv: Vec<f64> = traces
-            .iter()
-            .filter_map(|t| t.convergence_period(0.10).map(|c| c as f64))
-            .collect();
+        let conv: Vec<f64> =
+            traces.iter().filter_map(|t| t.convergence_period(0.10).map(|c| c as f64)).collect();
         let tail = |f: fn(&edgebol_core::trace::Trace) -> Vec<f64>| -> f64 {
             let v: Vec<f64> = traces
                 .iter()

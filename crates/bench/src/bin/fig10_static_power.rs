@@ -8,9 +8,9 @@
 //! paper). The normalized cost divides by the cost of the max-resources
 //! control for the same δ2, so values are comparable across δ2.
 
+use edgebol_bandit::{Constraints, ControlGrid, Oracle};
 use edgebol_bench::sweep::env_usize;
 use edgebol_bench::{f3, run_reps, Table};
-use edgebol_bandit::{Constraints, ControlGrid, Oracle};
 use edgebol_core::agent::EdgeBolAgent;
 use edgebol_core::problem::ProblemSpec;
 use edgebol_testbed::{Calibration, ControlInput, FlowTestbed, Scenario};
@@ -32,9 +32,7 @@ fn main() {
         let control = ControlInput::from_unit(c[0], c[1], c[2], c[3]);
         let ss = probe.steady_state(&[35.0], &control);
         let key = (control.resolution * 1000.0).round() as i64;
-        let rho = *map_cache
-            .entry(key)
-            .or_insert_with(|| probe.expected_map(control.resolution));
+        let rho = *map_cache.entry(key).or_insert_with(|| probe.expected_map(control.resolution));
         kpis.push((ss.server_power_w, ss.bs_power_w, ss.worst_delay_s(), rho));
     }
 
@@ -91,8 +89,11 @@ fn main() {
             let (ps0, pb0, _, _) = kpis[grid.max_corner()];
             let max_cost = ps0 + d2 * pb0;
             let oracle_norm = if oracle.feasible { oracle.best_cost / max_cost } else { 1.0 };
-            let gap =
-                if oracle.feasible { (cost / max_cost - oracle_norm) / oracle_norm * 100.0 } else { f64::NAN };
+            let gap = if oracle.feasible {
+                (cost / max_cost - oracle_norm) / oracle_norm * 100.0
+            } else {
+                f64::NAN
+            };
             table.push_row(vec![
                 label.to_string(),
                 format!("{d2}"),

@@ -12,9 +12,9 @@
 //! ~11 Mb/s slice need ~2.5 s per frame round-trip at the mAP-mandated
 //! resolutions).
 
+use edgebol_bandit::{Constraints, ControlGrid, Oracle};
 use edgebol_bench::sweep::env_usize;
 use edgebol_bench::{f3, run_reps, Table};
-use edgebol_bandit::{Constraints, ControlGrid, Oracle};
 use edgebol_core::agent::EdgeBolAgent;
 use edgebol_core::problem::ProblemSpec;
 use edgebol_testbed::{Calibration, ControlInput, FlowTestbed, Scenario};
@@ -44,9 +44,8 @@ fn main() {
                 let control = ControlInput::from_unit(c[0], c[1], c[2], c[3]);
                 let ss = probe.steady_state(&snrs, &control);
                 let key = (control.resolution * 1000.0).round() as i64;
-                let rho = *map_cache
-                    .entry(key)
-                    .or_insert_with(|| probe.expected_map(control.resolution));
+                let rho =
+                    *map_cache.entry(key).or_insert_with(|| probe.expected_map(control.resolution));
                 (ss.server_power_w, ss.bs_power_w, ss.worst_delay_s(), rho)
             })
             .collect();

@@ -14,7 +14,7 @@
 
 use edgebol_bandit::EdgeBolConfig;
 use edgebol_bench::sweep::env_usize;
-use edgebol_bench::{f1, f3, run_once, Table};
+use edgebol_bench::{f1, f3, parallel_map, run_once, Table};
 use edgebol_core::agent::{Agent, DdpgAgent, EdgeBolAgent};
 use edgebol_core::problem::ProblemSpec;
 use edgebol_core::trace::Trace;
@@ -23,22 +23,30 @@ use edgebol_testbed::{Calibration, FlowTestbed, Scenario};
 fn main() {
     let periods = env_usize("EDGEBOL_PERIODS", 3000);
     let spec = ProblemSpec::new(1.0, 8.0, 0.5, 0.4);
-    let schedule = vec![
-        (periods / 3, 0.4, 0.6),
-        (2 * periods / 3, 0.5, 0.5),
-    ];
+    let schedule = vec![(periods / 3, 0.4, 0.6), (2 * periods / 3, 0.5, 0.5)];
 
     let run = |agent: Box<dyn Agent>, seed: u64| -> Trace {
         let env = FlowTestbed::new(Calibration::fast(), Scenario::single_user(35.0), seed);
         run_once(Box::new(env), agent, spec, periods, false, schedule.clone())
     };
 
-    let mut eb_cfg = EdgeBolConfig::paper(spec.constraints());
-    eb_cfg.max_observations = Some(400);
-    eb_cfg.candidate_subsample = Some(512);
-    eb_cfg.seed = 0x77;
-    let edgebol = run(Box::new(EdgeBolAgent::with_config(&spec, eb_cfg)), 0xE01);
-    let ddpg = run(Box::new(DdpgAgent::new(&spec, 0x78)), 0xE01);
+    // The two agents are independent 3000-period runs: race them on the
+    // shared pool instead of back to back.
+    let mut traces = parallel_map(2, |which| {
+        let agent: Box<dyn Agent> = if which == 0 {
+            let mut eb_cfg = EdgeBolConfig::paper(spec.constraints());
+            eb_cfg.max_observations = Some(400);
+            eb_cfg.candidate_subsample = Some(512);
+            eb_cfg.seed = 0x77;
+            Box::new(EdgeBolAgent::with_config(&spec, eb_cfg))
+        } else {
+            Box::new(DdpgAgent::new(&spec, 0x78))
+        };
+        run(agent, 0xE01)
+    })
+    .into_iter();
+    let (edgebol, ddpg) =
+        (traces.next().expect("EdgeBOL trace"), traces.next().expect("DDPG trace"));
 
     // Per-segment summary: violation rates and mean cost, skipping the
     // first 50 periods of each segment boundary for the "steady" columns.

@@ -136,8 +136,10 @@ fn main() {
         let mut tails = Vec::new();
         let mut viols = Vec::new();
         let mut convs = Vec::new();
-        for rep in 0..reps as u64 {
-            let (costs, violations) = runner(periods, 0x2511 + rep);
+        // Repetitions are independent: run them on the shared pool.
+        let reps_out =
+            edgebol_bench::parallel_map(reps, |rep| runner(periods, 0x2511 + rep as u64));
+        for (costs, violations) in reps_out {
             let tail = costs[periods - 20..].iter().sum::<f64>() / 20.0;
             tails.push(tail);
             viols.push(violations as f64 / periods as f64);

@@ -9,13 +9,14 @@
 pub mod sweep;
 
 use edgebol_core::agent::Agent;
-use edgebol_core::orchestrator::Orchestrator;
+use edgebol_core::orchestrator::{Orchestrator, OrchestratorError};
 use edgebol_core::problem::ProblemSpec;
 use edgebol_core::trace::Trace;
 use edgebol_testbed::Environment;
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A printable/serializable results table.
 #[derive(Debug, Clone)]
@@ -113,7 +114,86 @@ pub fn f1(v: f64) -> String {
     format!("{v:.1}")
 }
 
+/// Number of worker threads for [`parallel_map`]: the `EDGEBOL_THREADS`
+/// environment variable when set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`].
+pub fn worker_threads() -> usize {
+    match std::env::var("EDGEBOL_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+/// Runs `job(0..n)` on a scoped thread pool and returns the results in
+/// index order.
+///
+/// Work is handed out through an atomic counter, so threads stay busy
+/// even when per-index runtimes differ; results are reassembled by index,
+/// so the output is **deterministic and identical to the sequential
+/// order** regardless of thread count or scheduling. A panicking job
+/// propagates its panic to the caller (after the scope joins the other
+/// workers).
+pub fn parallel_map<T, F>(n: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = worker_threads().min(n);
+    if threads <= 1 {
+        return (0..n).map(job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let job = &job;
+    let next = &next;
+    let mut tagged: Vec<(usize, T)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, job(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(v) => v,
+                Err(p) => std::panic::resume_unwind(p),
+            })
+            .collect()
+    });
+    tagged.sort_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Runs one agent/environment pair for `periods` periods, surfacing
+/// control-plane failures instead of panicking.
+pub fn try_run_once(
+    env: Box<dyn Environment>,
+    agent: Box<dyn Agent>,
+    spec: ProblemSpec,
+    periods: usize,
+    record_safe_set: bool,
+    schedule: Vec<(usize, f64, f64)>,
+) -> Result<Trace, OrchestratorError> {
+    let mut orch = Orchestrator::new(env, agent, spec)?.with_constraint_schedule(schedule);
+    orch.record_safe_set = record_safe_set;
+    orch.try_run(periods)
+}
+
 /// Runs one agent/environment pair for `periods` periods.
+///
+/// # Panics
+/// Panics if the orchestrator's control plane fails — impossible for the
+/// in-process transport the orchestrator builds; use [`try_run_once`]
+/// when the failure should be handled.
 pub fn run_once(
     env: Box<dyn Environment>,
     agent: Box<dyn Agent>,
@@ -122,25 +202,51 @@ pub fn run_once(
     record_safe_set: bool,
     schedule: Vec<(usize, f64, f64)>,
 ) -> Trace {
-    let mut orch =
-        Orchestrator::new(env, agent, spec).with_constraint_schedule(schedule);
-    orch.record_safe_set = record_safe_set;
-    orch.run(periods)
+    try_run_once(env, agent, spec, periods, record_safe_set, schedule)
+        .expect("in-process control plane")
+}
+
+/// Runs `reps` independent repetitions **in parallel** (seed = rep
+/// index), collecting per-seed results instead of aborting on the first
+/// failure.
+///
+/// Each repetition builds its environment and agent through the factories
+/// inside its worker thread, so repetitions share nothing; the output is
+/// seed-ordered and bit-identical to a sequential run (set
+/// `EDGEBOL_THREADS=1` to force one).
+pub fn try_run_reps(
+    reps: usize,
+    periods: usize,
+    spec: ProblemSpec,
+    env_factory: impl Fn(u64) -> Box<dyn Environment> + Sync,
+    agent_factory: impl Fn(u64) -> Box<dyn Agent> + Sync,
+) -> Vec<Result<Trace, OrchestratorError>> {
+    parallel_map(reps, |rep| {
+        let seed = rep as u64;
+        try_run_once(env_factory(seed), agent_factory(seed), spec, periods, false, Vec::new())
+    })
 }
 
 /// Runs `reps` independent repetitions via the factories, returning all
 /// traces (the paper plots medians and 10/90 percentile bands over 10
-/// repetitions).
+/// repetitions). Repetitions run in parallel — see [`try_run_reps`].
+///
+/// # Panics
+/// Panics if any repetition's control plane fails (impossible for the
+/// in-process transport); the panic message names the seed.
 pub fn run_reps(
     reps: usize,
     periods: usize,
     spec: ProblemSpec,
-    mut env_factory: impl FnMut(u64) -> Box<dyn Environment>,
-    mut agent_factory: impl FnMut(u64) -> Box<dyn Agent>,
+    env_factory: impl Fn(u64) -> Box<dyn Environment> + Sync,
+    agent_factory: impl Fn(u64) -> Box<dyn Agent> + Sync,
 ) -> Vec<Trace> {
-    (0..reps as u64)
-        .map(|seed| {
-            run_once(env_factory(seed), agent_factory(seed), spec, periods, false, Vec::new())
+    try_run_reps(reps, periods, spec, env_factory, agent_factory)
+        .into_iter()
+        .enumerate()
+        .map(|(seed, r)| match r {
+            Ok(t) => t,
+            Err(e) => panic!("repetition with seed {seed} failed: {e}"),
         })
         .collect()
 }
@@ -180,5 +286,33 @@ mod tests {
         assert_eq!(f3(1.23456), "1.235");
         assert_eq!(f1(1.26), "1.3");
         assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        // Uneven per-index work so threads finish out of order; the
+        // output must still be index-ordered.
+        let out = parallel_map(97, |i| {
+            let mut acc = i as u64;
+            for _ in 0..(97 - i) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (i, acc)
+        });
+        assert_eq!(out.len(), 97);
+        for (k, (i, _)) in out.iter().enumerate() {
+            assert_eq!(k, *i);
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        assert!(parallel_map(0, |i| i).is_empty());
+        assert_eq!(parallel_map(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn worker_threads_is_positive() {
+        assert!(worker_threads() >= 1);
     }
 }

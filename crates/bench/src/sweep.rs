@@ -1,7 +1,9 @@
 //! Shared DES sweep machinery for the measurement figures (Figs. 1–6).
 
 use edgebol_ran::Mcs;
-use edgebol_testbed::{Calibration, ControlInput, DesTestbed, Environment, PeriodObservation, Scenario};
+use edgebol_testbed::{
+    Calibration, ControlInput, DesTestbed, Environment, PeriodObservation, Scenario,
+};
 
 /// The resolutions the paper's §3 figures sweep (25–100%).
 pub const RESOLUTIONS: [f64; 4] = [0.25, 0.5, 0.75, 1.0];

@@ -12,7 +12,10 @@ use edgebol_bandit::{
 use edgebol_testbed::{ContextObs, ControlInput, PeriodObservation};
 
 /// A period-level learning agent in physical units.
-pub trait Agent {
+///
+/// `Send` so an orchestrator owning the agent can be driven from a worker
+/// thread (the parallel multi-seed runner in `edgebol-bench`).
+pub trait Agent: Send {
     /// Chooses the control policy for the observed context.
     fn select(&mut self, ctx: &ContextObs) -> ControlInput;
 

@@ -34,8 +34,9 @@
 //! let spec = ProblemSpec::new(1.0, 8.0, 0.4, 0.5);
 //! let env = FlowTestbed::new(Calibration::fast(), Scenario::single_user(35.0), 7);
 //! let agent = EdgeBolAgent::quick_for_tests(&spec, 7);
-//! let mut orch = Orchestrator::new(Box::new(env), Box::new(agent), spec);
-//! let trace = orch.run(20);
+//! let mut orch = Orchestrator::new(Box::new(env), Box::new(agent), spec)
+//!     .expect("in-process control plane");
+//! let trace = orch.try_run(20).expect("control plane stayed up");
 //! assert_eq!(trace.len(), 20);
 //! ```
 
@@ -45,6 +46,6 @@ pub mod problem;
 pub mod trace;
 
 pub use agent::{Agent, DdpgAgent, EdgeBolAgent, EpsGreedyAgent};
-pub use orchestrator::Orchestrator;
+pub use orchestrator::{Orchestrator, OrchestratorError};
 pub use problem::ProblemSpec;
 pub use trace::{PeriodRecord, Trace};

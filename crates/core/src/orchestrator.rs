@@ -16,18 +16,91 @@
 //! in the same machine where the learning agent runs", §4.2) and the image
 //! resolution "is indicated to the user using the application of the
 //! service" — both bypass the RAN control plane in the paper too.
+//!
+//! # Failure model
+//!
+//! The loop is fallible, not panicking: every control-plane interaction
+//! returns a typed [`OranError`] which [`Orchestrator::try_step`] either
+//! absorbs or surfaces as an [`OrchestratorError`]:
+//!
+//! * **Recoverable** errors — a corrupt or out-of-order message on a
+//!   healthy link (framing/codec/handshake) — trigger **degraded mode**
+//!   for that interaction: the radio path reuses the last policy the E2
+//!   node is known to have enforced (the node keeps running its current
+//!   configuration when a control message is lost), and the KPI path
+//!   falls back to the locally measured power reading. Degraded events
+//!   are counted in [`Orchestrator::degraded_events`].
+//! * **Unrecoverable** errors — the channel is closed or the socket
+//!   died ([`OranError::is_connection_lost`]) — abort the step and
+//!   propagate, because no future period could use the control plane
+//!   either.
 
 use crate::agent::Agent;
 use crate::problem::ProblemSpec;
 use crate::trace::{PeriodRecord, Trace};
-use edgebol_oran::{duplex_pair, E2Node, KpiReport, NearRtRic, NonRtRic, RadioPolicy, RicEvent};
+use edgebol_oran::{
+    duplex_pair, E2Node, KpiReport, NearRtRic, NonRtRic, OranError, RadioPolicy, RicEvent,
+};
 use edgebol_ran::Mcs;
 use edgebol_testbed::{ControlInput, Environment};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// A scheduled constraint change: at period `t`, switch to
 /// `(d_max, rho_min)` — the Fig. 14 scenario.
 pub type ConstraintEvent = (usize, f64, f64);
+
+/// Errors of the orchestration loop.
+///
+/// Wraps the O-RAN layer's [`OranError`] together with the stage of the
+/// control-plane round trip that failed, so logs can say *where* in the
+/// rApp → A1 → xApp → E2 → node chain a link died.
+#[derive(Debug)]
+pub enum OrchestratorError {
+    /// A control-plane interaction failed at `stage` with an
+    /// unrecoverable transport error (recoverable ones are absorbed by
+    /// degraded mode and never reach the caller).
+    ControlPlane {
+        /// Which hop of the A1/E2 round trip failed.
+        stage: &'static str,
+        /// The underlying O-RAN layer error.
+        source: OranError,
+    },
+}
+
+impl std::fmt::Display for OrchestratorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OrchestratorError::ControlPlane { stage, source } => {
+                write!(f, "control plane failed at {stage}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OrchestratorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OrchestratorError::ControlPlane { source, .. } => Some(source),
+        }
+    }
+}
+
+impl OrchestratorError {
+    /// Whether the underlying link is still usable. `try_step` never
+    /// returns a recoverable error (those are absorbed by degraded
+    /// mode); this exists for callers of the lower-level deploy helpers
+    /// and for tests.
+    pub fn is_recoverable(&self) -> bool {
+        match self {
+            OrchestratorError::ControlPlane { source, .. } => !source.is_connection_lost(),
+        }
+    }
+}
+
+/// Tags an O-RAN layer result with the chain stage it belongs to.
+fn at<T>(stage: &'static str, r: Result<T, OranError>) -> Result<T, OrchestratorError> {
+    r.map_err(|source| OrchestratorError::ControlPlane { stage, source })
+}
 
 /// The orchestrator.
 pub struct Orchestrator {
@@ -37,9 +110,14 @@ pub struct Orchestrator {
     nonrt: NonRtRic,
     nearrt: NearRtRic,
     node: E2Node,
-    /// The radio policy most recently enforced at the E2 node.
+    /// The radio policy most recently enforced at the E2 node (written by
+    /// the node's apply hook, drained once per deployment).
     enforced: Arc<Mutex<Option<RadioPolicy>>>,
+    /// The last policy known to be enforced — the degraded-mode fallback
+    /// when the control plane drops a message.
+    last_enforced: Option<RadioPolicy>,
     t: usize,
+    degraded_events: usize,
     /// Record the safe-set size each period (full-grid GP sweep —
     /// noticeably slower; used by the Fig. 13 regenerator).
     pub record_safe_set: bool,
@@ -48,7 +126,16 @@ pub struct Orchestrator {
 
 impl Orchestrator {
     /// Wires the agent, environment and O-RAN chain together.
-    pub fn new(env: Box<dyn Environment>, agent: Box<dyn Agent>, spec: ProblemSpec) -> Self {
+    ///
+    /// # Errors
+    /// [`OrchestratorError::ControlPlane`] when the KPI-subscription
+    /// handshake fails — impossible for the in-process transport built
+    /// here, but the setup path is fallible like the rest of the loop.
+    pub fn new(
+        env: Box<dyn Environment>,
+        agent: Box<dyn Agent>,
+        spec: ProblemSpec,
+    ) -> Result<Self, OrchestratorError> {
         let (a1_up, a1_down) = duplex_pair();
         let (e2_up, e2_down) = duplex_pair();
         let enforced = Arc::new(Mutex::new(None));
@@ -56,12 +143,12 @@ impl Orchestrator {
         let node = E2Node::new(
             e2_down,
             Box::new(move |p| {
-                *sink.lock().expect("policy sink lock") = Some(p);
+                *sink.lock().unwrap_or_else(PoisonError::into_inner) = Some(p);
             }),
         );
         let nonrt = NonRtRic::new(a1_up);
         let mut nearrt = NearRtRic::new(a1_down, e2_up);
-        nearrt.subscribe_kpis(1_000).expect("in-process E2 cannot fail at setup");
+        at("KPI subscribe (xApp->E2)", nearrt.subscribe_kpis(1_000))?;
         let mut orch = Orchestrator {
             env,
             agent,
@@ -70,13 +157,15 @@ impl Orchestrator {
             nearrt,
             node,
             enforced,
+            last_enforced: None,
             t: 0,
+            degraded_events: 0,
             record_safe_set: false,
             schedule: Vec::new(),
         };
         // Complete the KPI subscription handshake.
-        orch.node.poll().expect("subscription handshake");
-        orch
+        at("KPI subscription handshake (node)", orch.node.poll())?;
+        Ok(orch)
     }
 
     /// Adds a constraint-change schedule (Fig. 14).
@@ -90,61 +179,132 @@ impl Orchestrator {
         &self.spec
     }
 
-    /// Pushes the radio policies through A1/E2; returns the control as
-    /// actually enforced by the node.
-    fn deploy_radio_policy(&mut self, control: &ControlInput) -> ControlInput {
-        let policy = RadioPolicy {
-            airtime: control.airtime,
-            max_mcs: control.mcs_cap.index() as u8,
-        };
-        self.nonrt.put_policy(policy).expect("A1 put");
-        self.nearrt.poll().expect("near-RT poll (A1->E2)");
-        self.node.poll().expect("node poll (apply+ack)");
-        self.nearrt.poll().expect("near-RT poll (ack->A1)");
-        let events = self.nonrt.poll().expect("non-RT poll (feedback)");
+    /// How many control-plane interactions fell back to degraded mode
+    /// (stale policy / local power reading) so far.
+    pub fn degraded_events(&self) -> usize {
+        self.degraded_events
+    }
+
+    /// Drives one policy document through rApp → A1 → xApp → E2 → node
+    /// and back. Any hop may fail; the caller decides whether the error
+    /// is absorbable.
+    fn push_policy_through_chain(&mut self, policy: RadioPolicy) -> Result<(), OrchestratorError> {
+        at("A1 put (rApp->xApp)", self.nonrt.put_policy(policy))?;
+        at("near-RT poll (A1->E2)", self.nearrt.poll())?;
+        at("node poll (apply+ack)", self.node.poll())?;
+        at("near-RT poll (ack->A1)", self.nearrt.poll())?;
+        let events = at("non-RT poll (feedback)", self.nonrt.poll())?;
         debug_assert!(
             events.iter().any(|e| matches!(e, RicEvent::PolicyFeedback { .. })),
             "policy feedback expected"
         );
-        let applied = self
-            .enforced
-            .lock()
-            .expect("policy sink lock")
-            .expect("E2 node must have applied the policy");
-        ControlInput {
+        Ok(())
+    }
+
+    /// Pushes the radio policies through A1/E2; returns the control as
+    /// actually enforced by the node.
+    ///
+    /// Degraded mode: when a hop reports a recoverable error (corrupt or
+    /// dropped message on a healthy link), or the round trip completes
+    /// without fresh enforcement feedback, the E2 node keeps running its
+    /// previous configuration — so the period proceeds under the **last
+    /// enforced** policy. Before any policy was ever enforced, the
+    /// requested one is applied locally with the same quantization the
+    /// A1 wire format would impose.
+    ///
+    /// # Errors
+    /// [`OrchestratorError::ControlPlane`] when a hop reports a lost
+    /// connection ([`OranError::is_connection_lost`]).
+    fn deploy_radio_policy(
+        &mut self,
+        control: &ControlInput,
+    ) -> Result<ControlInput, OrchestratorError> {
+        let policy =
+            RadioPolicy { airtime: control.airtime, max_mcs: control.mcs_cap.index() as u8 };
+        match self.push_policy_through_chain(policy) {
+            Ok(()) => {}
+            Err(e) if e.is_recoverable() => self.degraded_events += 1,
+            Err(e) => return Err(e),
+        }
+        // Drain this deployment's enforcement feedback, if it arrived.
+        let fresh = self.enforced.lock().unwrap_or_else(PoisonError::into_inner).take();
+        let applied = match fresh.or(self.last_enforced) {
+            Some(p) => p,
+            None => {
+                // Nothing ever enforced: mirror the A1 milli-unit
+                // quantization locally so the trace stays consistent
+                // with what the chain would have delivered.
+                self.degraded_events += 1;
+                RadioPolicy {
+                    airtime: (policy.airtime * 1000.0).round() / 1000.0,
+                    max_mcs: policy.max_mcs,
+                }
+            }
+        };
+        self.last_enforced = Some(applied);
+        Ok(ControlInput {
             resolution: control.resolution,
             airtime: applied.airtime,
             gpu_speed: control.gpu_speed,
             mcs_cap: Mcs::clamped(applied.max_mcs as i64),
-        }
+        })
     }
 
     /// Routes a BS power reading through the E2 indication path and back
     /// out of the data-collector rApp.
-    fn bs_power_via_kpi_path(&mut self, t_ms: u64, bs_power_w: f64) -> f64 {
-        self.node
-            .indicate(KpiReport {
-                t_ms,
-                bs_power_mw: (bs_power_w * 1000.0).round() as u64,
-                duty_milli: 0,
-                mean_mcs_centi: 0,
-            })
-            .expect("E2 indicate");
-        self.nearrt.poll().expect("near-RT poll (indication)");
-        for ev in self.nonrt.poll().expect("non-RT poll (kpi)") {
-            if let RicEvent::Kpi { bs_power_w: w, .. } = ev {
-                return w;
+    ///
+    /// Degraded mode: a recoverable control-plane error, or an
+    /// indication that never surfaces as a KPI event, falls back to the
+    /// locally measured `bs_power_w` (the sample the node would have
+    /// reported).
+    ///
+    /// # Errors
+    /// [`OrchestratorError::ControlPlane`] when the link is lost.
+    fn bs_power_via_kpi_path(
+        &mut self,
+        t_ms: u64,
+        bs_power_w: f64,
+    ) -> Result<f64, OrchestratorError> {
+        let report = KpiReport {
+            t_ms,
+            bs_power_mw: (bs_power_w * 1000.0).round() as u64,
+            duty_milli: 0,
+            mean_mcs_centi: 0,
+        };
+        let roundtrip = (|| {
+            at("E2 indicate (node->xApp)", self.node.indicate(report))?;
+            at("near-RT poll (indication)", self.nearrt.poll())?;
+            at("non-RT poll (kpi)", self.nonrt.poll())
+        })();
+        match roundtrip {
+            Ok(events) => {
+                for ev in events {
+                    if let RicEvent::Kpi { bs_power_w: w, .. } = ev {
+                        return Ok(w);
+                    }
+                }
+                // Indication path configured but no sample: keep the
+                // local value.
+                Ok(bs_power_w)
             }
+            Err(e) if e.is_recoverable() => {
+                self.degraded_events += 1;
+                Ok(bs_power_w)
+            }
+            Err(e) => Err(e),
         }
-        // Indication path configured but no sample: keep the local value.
-        bs_power_w
     }
 
     /// Runs one orchestration period.
-    pub fn step_once(&mut self) -> PeriodRecord {
+    ///
+    /// # Errors
+    /// [`OrchestratorError::ControlPlane`] when the A1/E2 control plane
+    /// loses a link mid-round-trip; recoverable message-level failures
+    /// are absorbed by degraded mode (see the module docs).
+    pub fn try_step(&mut self) -> Result<PeriodRecord, OrchestratorError> {
         // Scheduled constraint changes (operator reconfiguration).
-        for &(at, d_max, rho_min) in &self.schedule {
-            if at == self.t {
+        for &(at_t, d_max, rho_min) in &self.schedule {
+            if at_t == self.t {
                 self.spec.d_max = d_max;
                 self.spec.rho_min = rho_min;
                 self.agent.set_constraints(d_max, rho_min);
@@ -152,37 +312,35 @@ impl Orchestrator {
         }
         let ctx = self.env.observe_context();
         let wanted = self.agent.select(&ctx);
-        let control = self.deploy_radio_policy(&wanted);
+        let control = self.deploy_radio_policy(&wanted)?;
         let mut obs = self.env.step(&control);
         // BS power rides the E2 KPI path (mW quantization included).
-        obs.bs_power_w = self.bs_power_via_kpi_path((self.t as u64) * 1000, obs.bs_power_w);
+        obs.bs_power_w = self.bs_power_via_kpi_path((self.t as u64) * 1000, obs.bs_power_w)?;
 
         let cost = self.spec.cost(&obs);
         let satisfied = self.spec.satisfied(&obs);
         self.agent.update(&ctx, &control, &obs);
         let safe_set_size =
             if self.record_safe_set { self.agent.safe_set_size(&ctx) } else { None };
-        let record = PeriodRecord {
-            t: self.t,
-            context: ctx,
-            control,
-            obs,
-            cost,
-            satisfied,
-            safe_set_size,
-        };
+        let record =
+            PeriodRecord { t: self.t, context: ctx, control, obs, cost, satisfied, safe_set_size };
         self.t += 1;
-        record
+        Ok(record)
     }
 
     /// Runs `periods` periods and returns the trace.
-    pub fn run(&mut self, periods: usize) -> Trace {
+    ///
+    /// # Errors
+    /// The first [`OrchestratorError`] a period surfaces; records from
+    /// completed periods are dropped with it (callers that need partial
+    /// traces can loop [`Orchestrator::try_step`] themselves).
+    pub fn try_run(&mut self, periods: usize) -> Result<Trace, OrchestratorError> {
         let mut trace = Trace::default();
         for _ in 0..periods {
-            let r = self.step_once();
+            let r = self.try_step()?;
             trace.records.push(r);
         }
-        trace
+        Ok(trace)
     }
 }
 
@@ -196,13 +354,20 @@ mod tests {
         let spec = ProblemSpec::new(1.0, 8.0, 0.5, 0.4);
         let env = FlowTestbed::new(Calibration::fast(), Scenario::single_user(35.0), seed);
         let agent = EdgeBolAgent::quick_for_tests(&spec, seed);
-        Orchestrator::new(Box::new(env), Box::new(agent), spec)
+        Orchestrator::new(Box::new(env), Box::new(agent), spec).expect("in-process setup")
+    }
+
+    #[test]
+    fn orchestrator_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Orchestrator>();
+        assert_send::<OrchestratorError>();
     }
 
     #[test]
     fn runs_periods_and_records() {
         let mut o = orch(1);
-        let trace = o.run(10);
+        let trace = o.try_run(10).unwrap();
         assert_eq!(trace.len(), 10);
         for (i, r) in trace.records.iter().enumerate() {
             assert_eq!(r.t, i);
@@ -210,6 +375,8 @@ mod tests {
             assert!(r.obs.delay_s > 0.0);
             assert_eq!(r.cost, o.spec().cost(&r.obs));
         }
+        // The in-process control plane never drops a message.
+        assert_eq!(o.degraded_events(), 0);
     }
 
     #[test]
@@ -217,7 +384,7 @@ mod tests {
         // Whatever the agent asks, the enforced airtime is a multiple of
         // 1/1000 (A1 carries milli-units).
         let mut o = orch(2);
-        let trace = o.run(5);
+        let trace = o.try_run(5).unwrap();
         for r in &trace.records {
             let milli = r.control.airtime * 1000.0;
             assert!((milli - milli.round()).abs() < 1e-9, "airtime {}", r.control.airtime);
@@ -227,9 +394,9 @@ mod tests {
     #[test]
     fn constraint_schedule_fires() {
         let mut o = orch(3).with_constraint_schedule(vec![(3, 0.3, 0.6)]);
-        let _ = o.run(3);
+        let _ = o.try_run(3).unwrap();
         assert_eq!(o.spec().d_max, 0.5);
-        let _ = o.run(1);
+        let _ = o.try_run(1).unwrap();
         assert_eq!(o.spec().d_max, 0.3);
         assert_eq!(o.spec().rho_min, 0.6);
     }
@@ -238,7 +405,7 @@ mod tests {
     fn safe_set_recording_is_optional_and_works() {
         let mut o = orch(4);
         o.record_safe_set = true;
-        let trace = o.run(8);
+        let trace = o.try_run(8).unwrap();
         assert!(trace.records.iter().all(|r| r.safe_set_size.is_some()));
         // During warm-up the estimate equals |S_0| = 1 (the max-resources
         // corner is the a-priori safe set).
@@ -248,7 +415,7 @@ mod tests {
     #[test]
     fn learning_reduces_cost_over_time() {
         let mut o = orch(5);
-        let trace = o.run(60);
+        let trace = o.try_run(60).unwrap();
         let early: f64 = trace.costs()[..6].iter().sum::<f64>() / 6.0;
         let late = trace.tail_mean_cost(10);
         assert!(
@@ -257,5 +424,21 @@ mod tests {
         );
         // And the service constraints hold most of the time after warmup.
         assert!(trace.satisfaction_rate(10) > 0.7, "{}", trace.satisfaction_rate(10));
+    }
+
+    #[test]
+    fn error_display_names_the_stage() {
+        let e = OrchestratorError::ControlPlane {
+            stage: "A1 put (rApp->xApp)",
+            source: edgebol_oran::OranError::ChannelClosed("a1"),
+        };
+        assert!(e.to_string().contains("A1 put"));
+        assert!(!e.is_recoverable());
+        let e = OrchestratorError::ControlPlane {
+            stage: "non-RT poll (kpi)",
+            source: edgebol_oran::OranError::Codec("bad json".into()),
+        };
+        assert!(e.is_recoverable());
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

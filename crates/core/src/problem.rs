@@ -65,7 +65,13 @@ mod tests {
     use super::*;
 
     fn obs(delay: f64, map: f64, ps: f64, pb: f64) -> PeriodObservation {
-        PeriodObservation { delay_s: delay, gpu_delay_s: 0.1, map, server_power_w: ps, bs_power_w: pb }
+        PeriodObservation {
+            delay_s: delay,
+            gpu_delay_s: 0.1,
+            map,
+            server_power_w: ps,
+            bs_power_w: pb,
+        }
     }
 
     #[test]

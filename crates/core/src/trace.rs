@@ -4,7 +4,7 @@ use edgebol_testbed::{ContextObs, ControlInput, PeriodObservation};
 use serde::{Deserialize, Serialize};
 
 /// Everything recorded about one orchestration period.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PeriodRecord {
     /// Period index `t`.
     pub t: usize,
@@ -23,7 +23,7 @@ pub struct PeriodRecord {
 }
 
 /// A full experiment run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Trace {
     /// The per-period records in order.
     pub records: Vec<PeriodRecord>,
@@ -120,7 +120,11 @@ impl Trace {
 /// Pointwise median and percentile band over repetitions of a series —
 /// how the paper plots its shaded figures ("median value and the 10th and
 /// 90th percentiles, across 10 independent repetitions").
-pub fn percentile_band(series: &[Vec<f64>], q_lo: f64, q_hi: f64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+pub fn percentile_band(
+    series: &[Vec<f64>],
+    q_lo: f64,
+    q_hi: f64,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     assert!(!series.is_empty(), "need at least one repetition");
     let len = series.iter().map(|s| s.len()).min().unwrap_or(0);
     let mut med = Vec::with_capacity(len);

@@ -126,9 +126,7 @@ impl GaussianProcess {
             cross.push(self.kernel.eval(self.x(i), z));
         }
         let kappa = self.kernel.prior_var() + self.noise_var;
-        self.chol
-            .append(&cross, kappa)
-            .map_err(|e| GpError::Numerical(e.to_string()))?;
+        self.chol.append(&cross, kappa).map_err(|e| GpError::Numerical(e.to_string()))?;
         self.xs.extend_from_slice(z);
         self.ys.push(y);
         self.alpha_dirty = true;
@@ -202,9 +200,8 @@ impl GaussianProcess {
         self.refresh_alpha();
         let n = self.len();
         // Cross kernel matrix K* with shape (n x m).
-        let kcross = Mat::from_fn(n, m, |i, j| {
-            self.kernel.eval(self.x(i), &points[j * d..(j + 1) * d])
-        });
+        let kcross =
+            Mat::from_fn(n, m, |i, j| self.kernel.eval(self.x(i), &points[j * d..(j + 1) * d]));
         let mut means = vec![0.0; m];
         for i in 0..n {
             vecops::axpy(self.alpha[i], kcross.row(i), &mut means);
@@ -331,16 +328,12 @@ mod tests {
     #[test]
     fn batch_matches_single_predictions() {
         let mut gp = GaussianProcess::new(Kernel::matern52(2.0, vec![0.4, 0.7]), 1e-3);
-        let pts = [
-            [0.1, 0.2],
-            [0.5, 0.9],
-            [0.8, 0.1],
-            [0.3, 0.4],
-        ];
+        let pts = [[0.1, 0.2], [0.5, 0.9], [0.8, 0.1], [0.3, 0.4]];
         for (i, p) in pts.iter().enumerate() {
             gp.observe(p, i as f64 * 0.5 - 1.0).unwrap();
         }
-        let q: Vec<f64> = (0..20).flat_map(|i| vec![i as f64 * 0.05, 1.0 - i as f64 * 0.05]).collect();
+        let q: Vec<f64> =
+            (0..20).flat_map(|i| vec![i as f64 * 0.05, 1.0 - i as f64 * 0.05]).collect();
         let (bm, bs) = gp.predict_batch(&q);
         for j in 0..20 {
             let (m, s) = gp.predict(&q[j * 2..j * 2 + 2]);

@@ -193,17 +193,18 @@ pub fn fit_hyperparams(
         return Err(GpError::Empty);
     }
     if xs.len() != ys.len() * dim {
-        return Err(GpError::DimensionMismatch { expected: ys.len() * dim, got: xs.len() / dim.max(1) });
+        return Err(GpError::DimensionMismatch {
+            expected: ys.len() * dim,
+            got: xs.len() / dim.max(1),
+        });
     }
     let yvar = edgebol_linalg::vecops::variance(ys).max(1e-8);
 
     let clampp = |v: f64, (lo, hi): (f64, f64)| v.max(lo).min(hi);
     let objective = |p: &[f64]| -> f64 {
         // Negative LML (we minimize).
-        let ls: Vec<f64> = p[..dim]
-            .iter()
-            .map(|&v| 10f64.powf(clampp(v, cfg.log_ls_bounds)))
-            .collect();
+        let ls: Vec<f64> =
+            p[..dim].iter().map(|&v| 10f64.powf(clampp(v, cfg.log_ls_bounds))).collect();
         let sig = 10f64.powf(clampp(p[dim], (-4.0, 4.0)));
         let noise = 10f64.powf(clampp(p[dim + 1], cfg.log_noise_bounds));
         let kernel = Kernel::new(cfg.kind, sig * yvar, ls);
@@ -261,10 +262,8 @@ pub fn fit_hyperparams(
         }
     }
 
-    let ls: Vec<f64> = best_p[..dim]
-        .iter()
-        .map(|&v| 10f64.powf(clampp(v, cfg.log_ls_bounds)))
-        .collect();
+    let ls: Vec<f64> =
+        best_p[..dim].iter().map(|&v| 10f64.powf(clampp(v, cfg.log_ls_bounds))).collect();
     let sig = 10f64.powf(clampp(best_p[dim], (-4.0, 4.0))) * yvar;
     let noise = 10f64.powf(clampp(best_p[dim + 1], cfg.log_noise_bounds)) * yvar;
     Ok(FitResult {

@@ -4,11 +4,7 @@ use edgebol_gp::{GaussianProcess, Kernel, KernelKind};
 use proptest::prelude::*;
 
 fn kernel_kind() -> impl Strategy<Value = KernelKind> {
-    prop_oneof![
-        Just(KernelKind::Matern32),
-        Just(KernelKind::Matern52),
-        Just(KernelKind::Rbf),
-    ]
+    prop_oneof![Just(KernelKind::Matern32), Just(KernelKind::Matern52), Just(KernelKind::Rbf),]
 }
 
 proptest! {

@@ -35,7 +35,9 @@ impl Cholesky {
     /// [`LinalgError::DimensionMismatch`] for non-square input.
     pub fn factor(a: &Mat) -> Result<Self> {
         if !a.is_square() {
-            return Err(LinalgError::DimensionMismatch { context: "Cholesky of non-square matrix" });
+            return Err(LinalgError::DimensionMismatch {
+                context: "Cholesky of non-square matrix",
+            });
         }
         match Self::factor_raw(a, 0.0) {
             Ok(ok) => return Ok(ok),
@@ -214,20 +216,14 @@ mod tests {
     #[test]
     fn rejects_non_square() {
         let m = Mat::zeros(2, 3);
-        assert!(matches!(
-            Cholesky::factor(&m),
-            Err(LinalgError::DimensionMismatch { .. })
-        ));
+        assert!(matches!(Cholesky::factor(&m), Err(LinalgError::DimensionMismatch { .. })));
     }
 
     #[test]
     fn rejects_indefinite() {
         // Eigenvalues 1 and -1: indefinite beyond any reasonable jitter.
         let m = Mat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
-        assert!(matches!(
-            Cholesky::factor(&m),
-            Err(LinalgError::NotPositiveDefinite { .. })
-        ));
+        assert!(matches!(Cholesky::factor(&m), Err(LinalgError::NotPositiveDefinite { .. })));
     }
 
     #[test]
@@ -264,10 +260,7 @@ mod tests {
     fn append_rejects_wrong_cross_length() {
         let mut c = Cholesky::empty();
         c.append(&[], 2.0).unwrap();
-        assert!(matches!(
-            c.append(&[1.0, 2.0], 3.0),
-            Err(LinalgError::DimensionMismatch { .. })
-        ));
+        assert!(matches!(c.append(&[1.0, 2.0], 3.0), Err(LinalgError::DimensionMismatch { .. })));
     }
 
     #[test]

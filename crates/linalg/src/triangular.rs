@@ -127,10 +127,7 @@ mod tests {
             let bcol: Vec<f64> = (0..3).map(|r| b[(r, col)]).collect();
             let xcol = solve_lower(&l, &bcol);
             for r in 0..3 {
-                assert!(
-                    (x[(r, col)] - xcol[r]).abs() < 1e-12,
-                    "mismatch at ({r},{col})"
-                );
+                assert!((x[(r, col)] - xcol[r]).abs() < 1e-12, "mismatch at ({r},{col})");
             }
         }
     }

@@ -147,10 +147,7 @@ mod tests {
     fn scene_with(category: Category, size: f64) -> Scene {
         Scene {
             id: 0,
-            objects: vec![GroundTruth {
-                category,
-                bbox: BBox::new(100.0, 100.0, size, size),
-            }],
+            objects: vec![GroundTruth { category, bbox: BBox::new(100.0, 100.0, size, size) }],
             clutter: 0.0,
         }
     }
@@ -195,10 +192,7 @@ mod tests {
             (0..500).map(|_| usize::from(!d.detect(&s, 0.15, &mut rng).is_empty())).sum();
         let hits_high: usize =
             (0..500).map(|_| usize::from(!d.detect(&s, 1.0, &mut rng).is_empty())).sum();
-        assert!(
-            hits_low * 2 < hits_high,
-            "low {hits_low} should be well below high {hits_high}"
-        );
+        assert!(hits_low * 2 < hits_high, "low {hits_low} should be well below high {hits_high}");
     }
 
     #[test]

@@ -62,10 +62,8 @@ pub fn average_precision(
     flat.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
 
     // Greedy matching.
-    let mut matched: Vec<Vec<bool>> = samples
-        .iter()
-        .map(|(scene, _)| vec![false; scene.objects.len()])
-        .collect();
+    let mut matched: Vec<Vec<bool>> =
+        samples.iter().map(|(scene, _)| vec![false; scene.objects.len()]).collect();
     let mut tp = Vec::with_capacity(flat.len());
     for f in &flat {
         let (scene, dets) = &samples[f.image];
@@ -77,7 +75,7 @@ pub fn average_precision(
                 continue;
             }
             let iou = det.bbox.iou(&gt.bbox);
-            if iou >= iou_threshold && best.map_or(true, |(_, b)| iou > b) {
+            if iou >= iou_threshold && best.is_none_or(|(_, b)| iou > b) {
                 best = Some((gi, iou));
             }
         }
@@ -130,10 +128,8 @@ pub fn mean_average_precision(
 ) -> MapBreakdown {
     let mut per_category = Vec::new();
     for c in Category::ALL {
-        let n_gt: usize = samples
-            .iter()
-            .map(|(s, _)| s.objects.iter().filter(|o| o.category == c).count())
-            .sum();
+        let n_gt: usize =
+            samples.iter().map(|(s, _)| s.objects.iter().filter(|o| o.category == c).count()).sum();
         if n_gt == 0 {
             continue;
         }

@@ -105,7 +105,7 @@ impl Mlp {
             for _ in 0..fan_in * fan_out {
                 params.push(normal(rng, 0.0, scale));
             }
-            params.extend(std::iter::repeat(0.0).take(fan_out));
+            params.extend(std::iter::repeat_n(0.0, fan_out));
         }
         Mlp { sizes: sizes.to_vec(), hidden_act, out_act, params }
     }
@@ -337,11 +337,7 @@ mod tests {
             let lm = loss(&net, &x);
             net.params_mut()[pi] = orig;
             let fd = (lp - lm) / (2.0 * eps);
-            assert!(
-                (fd - grads[pi]).abs() < 1e-6,
-                "param {pi}: fd {fd} vs analytic {}",
-                grads[pi]
-            );
+            assert!((fd - grads[pi]).abs() < 1e-6, "param {pi}: fd {fd} vs analytic {}", grads[pi]);
         }
         for xi in 0..3 {
             let mut xp = x;
@@ -366,7 +362,7 @@ mod tests {
         let (grads, _) = net.backward(&cache, &[1.0]);
         let eps = 1e-6;
         let mut checked = 0;
-        for pi in 0..net.param_count() {
+        for (pi, &g) in grads.iter().enumerate() {
             let orig = net.params()[pi];
             net.params_mut()[pi] = orig + eps;
             let lp = loss(&net, &x);
@@ -375,7 +371,7 @@ mod tests {
             net.params_mut()[pi] = orig;
             let fd = (lp - lm) / (2.0 * eps);
             // Skip parameters sitting exactly on a ReLU kink.
-            if (fd - grads[pi]).abs() < 1e-5 {
+            if (fd - g).abs() < 1e-5 {
                 checked += 1;
             }
         }

@@ -34,19 +34,13 @@ pub struct KpiReport {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum E2Message {
     /// RIC → node: subscribe to periodic KPI indications.
-    SubscriptionRequest {
-        ran_function: u16,
-        report_period_ms: u32,
-    },
+    SubscriptionRequest { ran_function: u16, report_period_ms: u32 },
     /// Node → RIC: subscription accepted.
     SubscriptionResponse { ran_function: u16 },
     /// Node → RIC: periodic KPI indication.
     Indication(KpiReport),
     /// RIC → node: enforce radio policies (airtime in 1/1000, MCS cap).
-    ControlRequest {
-        airtime_milli: u16,
-        max_mcs: u8,
-    },
+    ControlRequest { airtime_milli: u16, max_mcs: u8 },
     /// Node → RIC: control acknowledged.
     ControlAck,
 }
@@ -111,13 +105,22 @@ impl E2Codec {
     /// contract: partial frames stay buffered).
     ///
     /// # Errors
-    /// [`OranError::Codec`] on unknown tags or truncated payloads whose
-    /// declared length is complete (a corrupt peer).
+    /// [`OranError::Framing`] when the declared length exceeds
+    /// [`crate::transport::MAX_FRAME_LEN`] (such a frame could never
+    /// complete — no real E2 message comes close); [`OranError::Codec`]
+    /// on unknown tags or truncated payloads whose declared length is
+    /// complete (a corrupt peer).
     pub fn decode(src: &mut BytesMut) -> Result<Option<E2Message>, OranError> {
         if src.len() < 4 {
             return Ok(None);
         }
         let len = u32::from_be_bytes([src[0], src[1], src[2], src[3]]) as usize;
+        if len > crate::transport::MAX_FRAME_LEN {
+            return Err(OranError::Framing(format!(
+                "declared E2 frame length {len} exceeds the {}-byte cap",
+                crate::transport::MAX_FRAME_LEN
+            )));
+        }
         if src.len() < 4 + len {
             return Ok(None);
         }
@@ -155,10 +158,7 @@ impl E2Codec {
             }
             tag::CONTROL_REQ => {
                 need(&body, 3)?;
-                E2Message::ControlRequest {
-                    airtime_milli: body.get_u16(),
-                    max_mcs: body.get_u8(),
-                }
+                E2Message::ControlRequest { airtime_milli: body.get_u16(), max_mcs: body.get_u8() }
             }
             tag::CONTROL_ACK => E2Message::ControlAck,
             other => return Err(OranError::Codec(format!("unknown tag {other}"))),
@@ -243,6 +243,14 @@ mod tests {
         buf.put_u8(super::tag::INDICATION);
         buf.put_u8(0);
         assert!(matches!(E2Codec::decode(&mut buf), Err(OranError::Codec(_))));
+    }
+
+    #[test]
+    fn oversized_declared_length_is_a_framing_error() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(u32::MAX);
+        buf.put_u8(super::tag::SUB_REQ);
+        assert!(matches!(E2Codec::decode(&mut buf), Err(OranError::Framing(_))));
     }
 
     #[test]

@@ -7,17 +7,18 @@
 //! crate implements that control plane:
 //!
 //! * [`a1`] — A1-P policy documents. O-RAN specifies A1 policies as JSON
-//!   against a policy-type schema (O-RAN.WG2.A1AP), so these types
-//!   round-trip through `serde_json` (the one dependency added beyond the
-//!   pre-approved set; see DESIGN.md).
+//!   against a policy-type schema (O-RAN.WG2.A1AP); the wire codec is
+//!   hand-rolled so encoding is panic-free, `u64` fields are exact and
+//!   `f64` fields round-trip bit-exactly (shortest-roundtrip encode,
+//!   full-precision parse).
 //! * [`e2`] — an E2AP-style binary codec over [`bytes`]: tagged,
 //!   length-delimited frames carrying subscriptions, KPI indications and
 //!   radio-control requests. Decoding is incremental: feed it a byte
 //!   stream, get complete messages out.
 //! * [`transport`] — duplex byte transports: an in-process pair backed by
-//!   crossbeam channels (used by the orchestrator and the tests) and a
-//!   length-framed TCP transport (used by the networked example) that
-//!   follows the classic framing pattern of the Tokio tutorial, in
+//!   a std mutex-guarded queue (used by the orchestrator and the tests)
+//!   and a length-framed TCP transport (used by the networked example)
+//!   that follows the classic framing pattern of the Tokio tutorial, in
 //!   blocking form.
 //! * [`ric`] — the actors: [`ric::NonRtRic`] (policy service + data
 //!   collector rApps), [`ric::NearRtRic`] (A1⇄E2 translation xApp) and
@@ -37,15 +38,24 @@ pub use e2::{E2Codec, E2Message, KpiReport};
 pub use ric::{E2Node, NearRtRic, NonRtRic, RicEvent};
 pub use transport::{duplex_pair, Endpoint, FramedTcp};
 
-/// Errors of the O-RAN layer.
+/// Errors of the O-RAN layer, split by protocol layer so callers can
+/// route recovery: framing and codec errors mean a corrupt peer (drop
+/// the message, keep the link), a closed channel means the link itself
+/// is gone, and a handshake error means a protocol-state violation.
 #[derive(Debug)]
 pub enum OranError {
-    /// A frame failed to decode.
+    /// Length-delimited framing violated: an oversized or impossible
+    /// declared frame length, or a frame that can never complete.
+    Framing(String),
+    /// A complete frame failed to decode: unknown E2 tag, truncated
+    /// payload, non-UTF-8 or malformed A1 JSON.
     Codec(String),
-    /// JSON (A1) payload failed to parse.
-    Json(serde_json::Error),
-    /// Transport failure (peer gone, socket error).
-    Transport(String),
+    /// The peer side of an in-process channel was dropped, or the socket
+    /// closed; no further traffic is possible on this link.
+    ChannelClosed(&'static str),
+    /// A message arrived that the actor's protocol state does not allow
+    /// (e.g. an A1 `PutPolicy` delivered to the non-RT RIC).
+    Handshake(String),
     /// I/O error from the TCP transport.
     Io(std::io::Error),
 }
@@ -53,24 +63,37 @@ pub enum OranError {
 impl std::fmt::Display for OranError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            OranError::Framing(m) => write!(f, "framing error: {m}"),
             OranError::Codec(m) => write!(f, "codec error: {m}"),
-            OranError::Json(e) => write!(f, "A1 JSON error: {e}"),
-            OranError::Transport(m) => write!(f, "transport error: {m}"),
+            OranError::ChannelClosed(link) => write!(f, "channel closed: {link}"),
+            OranError::Handshake(m) => write!(f, "handshake error: {m}"),
             OranError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
 }
 
-impl std::error::Error for OranError {}
-
-impl From<serde_json::Error> for OranError {
-    fn from(e: serde_json::Error) -> Self {
-        OranError::Json(e)
+impl std::error::Error for OranError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OranError::Io(e) => Some(e),
+            _ => None,
+        }
     }
 }
 
 impl From<std::io::Error> for OranError {
     fn from(e: std::io::Error) -> Self {
         OranError::Io(e)
+    }
+}
+
+impl OranError {
+    /// Whether the underlying link is unusable (vs a single corrupt or
+    /// out-of-order message on a healthy link). The orchestrator's
+    /// degraded mode keys off this: recoverable errors fall back to the
+    /// last enforced policy / local power reading, unrecoverable ones
+    /// surface to the caller.
+    pub fn is_connection_lost(&self) -> bool {
+        matches!(self, OranError::ChannelClosed(_) | OranError::Io(_))
     }
 }

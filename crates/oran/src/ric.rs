@@ -43,7 +43,7 @@ impl NonRtRic {
     /// Deploys a radio policy; returns its instance id.
     ///
     /// # Errors
-    /// [`OranError::Transport`] when the A1 link is down.
+    /// [`OranError::ChannelClosed`] when the A1 link is down.
     pub fn put_policy(&mut self, policy: RadioPolicy) -> Result<PolicyId, OranError> {
         let id = PolicyId(format!("edgebol-{}", self.next_policy_seq));
         self.next_policy_seq += 1;
@@ -70,7 +70,7 @@ impl NonRtRic {
         let mut events = Vec::new();
         while let Some(raw) = self.a1.try_recv()? {
             let text = std::str::from_utf8(&raw)
-                .map_err(|e| OranError::Transport(format!("non-UTF8 A1 frame: {e}")))?;
+                .map_err(|e| OranError::Codec(format!("non-UTF8 A1 frame: {e}")))?;
             match A1Message::from_json(text)? {
                 A1Message::Feedback { policy_id, status } => {
                     if status == PolicyStatus::Enforced {
@@ -86,7 +86,7 @@ impl NonRtRic {
                     events.push(RicEvent::Kpi { t_ms, bs_power_w: bs_power_mw as f64 / 1000.0 });
                 }
                 other => {
-                    return Err(OranError::Transport(format!(
+                    return Err(OranError::Handshake(format!(
                         "unexpected A1 message at non-RT RIC: {other:?}"
                     )))
                 }
@@ -115,7 +115,7 @@ impl NearRtRic {
     /// Subscribes to the node's KPI stream (done once at start-up).
     ///
     /// # Errors
-    /// [`OranError::Transport`] when the E2 link is down.
+    /// [`OranError::ChannelClosed`] when the E2 link is down.
     pub fn subscribe_kpis(&mut self, period_ms: u32) -> Result<(), OranError> {
         let msg = E2Message::SubscriptionRequest {
             ran_function: RAN_FUNC_KPI,
@@ -133,14 +133,11 @@ impl NearRtRic {
         // A1 (from non-RT RIC) -> E2 control.
         while let Some(raw) = self.a1.try_recv()? {
             let text = std::str::from_utf8(&raw)
-                .map_err(|e| OranError::Transport(format!("non-UTF8 A1 frame: {e}")))?;
+                .map_err(|e| OranError::Codec(format!("non-UTF8 A1 frame: {e}")))?;
             match A1Message::from_json(text)? {
                 A1Message::PutPolicy { policy_id, policy, .. } => {
                     if !policy.is_valid() {
-                        let fb = A1Message::Feedback {
-                            policy_id,
-                            status: PolicyStatus::Rejected,
-                        };
+                        let fb = A1Message::Feedback { policy_id, status: PolicyStatus::Rejected };
                         self.a1.send(Bytes::from(fb.to_json()))?;
                         continue;
                     }
@@ -156,7 +153,7 @@ impl NearRtRic {
                     self.a1.send(Bytes::from(fb.to_json()))?;
                 }
                 other => {
-                    return Err(OranError::Transport(format!(
+                    return Err(OranError::Handshake(format!(
                         "unexpected A1 message at near-RT RIC: {other:?}"
                     )))
                 }
@@ -170,10 +167,7 @@ impl NearRtRic {
             match msg {
                 E2Message::ControlAck => {
                     if let Some(policy_id) = self.awaiting_ack.take() {
-                        let fb = A1Message::Feedback {
-                            policy_id,
-                            status: PolicyStatus::Enforced,
-                        };
+                        let fb = A1Message::Feedback { policy_id, status: PolicyStatus::Enforced };
                         self.a1.send(Bytes::from(fb.to_json()))?;
                     }
                 }
@@ -183,7 +177,7 @@ impl NearRtRic {
                 }
                 E2Message::SubscriptionResponse { .. } => {}
                 other => {
-                    return Err(OranError::Transport(format!(
+                    return Err(OranError::Handshake(format!(
                         "unexpected E2 message at near-RT RIC: {other:?}"
                     )))
                 }
@@ -238,14 +232,11 @@ impl E2Node {
                     self.e2.send(E2Codec::encode_to_bytes(&resp))?;
                 }
                 E2Message::ControlRequest { airtime_milli, max_mcs } => {
-                    (self.apply)(RadioPolicy {
-                        airtime: airtime_milli as f64 / 1000.0,
-                        max_mcs,
-                    });
+                    (self.apply)(RadioPolicy { airtime: airtime_milli as f64 / 1000.0, max_mcs });
                     self.e2.send(E2Codec::encode_to_bytes(&E2Message::ControlAck))?;
                 }
                 other => {
-                    return Err(OranError::Transport(format!(
+                    return Err(OranError::Handshake(format!(
                         "unexpected E2 message at node: {other:?}"
                     )))
                 }
@@ -258,7 +249,7 @@ impl E2Node {
     /// when subscribed).
     ///
     /// # Errors
-    /// [`OranError::Transport`] when the E2 link is down.
+    /// [`OranError::ChannelClosed`] when the E2 link is down.
     pub fn indicate(&mut self, kpi: KpiReport) -> Result<(), OranError> {
         if !self.subscribed {
             return Ok(()); // No subscriber; the sample is dropped.
@@ -279,10 +270,7 @@ mod tests {
         let (e2_up, e2_down) = duplex_pair();
         let applied = Arc::new(Mutex::new(Vec::new()));
         let applied2 = applied.clone();
-        let node = E2Node::new(
-            e2_down,
-            Box::new(move |p| applied2.lock().unwrap().push(p)),
-        );
+        let node = E2Node::new(e2_down, Box::new(move |p| applied2.lock().unwrap().push(p)));
         (NonRtRic::new(a1_up), NearRtRic::new(a1_down, e2_up), node, applied)
     }
 
@@ -359,9 +347,8 @@ mod tests {
         // Two A1 messages pending at non-RT: none for the put (no ack yet,
         // node never polled) and one Deleted feedback.
         let events = nonrt.poll().unwrap();
-        assert!(events
-            .iter()
-            .any(|e| *e == RicEvent::PolicyFeedback { policy_id: id.clone(), status: PolicyStatus::Deleted }));
+        assert!(events.iter().any(|e| *e
+            == RicEvent::PolicyFeedback { policy_id: id.clone(), status: PolicyStatus::Deleted }));
     }
 
     #[test]

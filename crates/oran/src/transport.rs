@@ -2,51 +2,94 @@
 
 use crate::OranError;
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Upper bound on a single framed-TCP payload; anything larger is a
+/// corrupt or hostile peer, not a real control-plane message.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// One direction of the in-process pipe: an unbounded FIFO plus liveness
+/// counters so each side can detect the other hanging up.
+#[derive(Debug, Default)]
+struct Channel {
+    queue: Mutex<VecDeque<Bytes>>,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+impl Channel {
+    fn push(&self, msg: Bytes) {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner).push_back(msg);
+    }
+
+    fn pop(&self) -> Option<Bytes> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner).pop_front()
+    }
+}
 
 /// One end of a duplex, message-oriented byte pipe.
 ///
 /// The in-process implementation used throughout the orchestrator and the
 /// tests; each `send` delivers one whole message (no framing needed).
-#[derive(Debug, Clone)]
+/// Clones share both directions (multiple producers/consumers), and the
+/// pipe counts live clones per side so a fully dropped peer turns into
+/// [`OranError::ChannelClosed`] rather than silence.
+#[derive(Debug)]
 pub struct Endpoint {
-    tx: Sender<Bytes>,
-    rx: Receiver<Bytes>,
+    /// Direction this end sends on.
+    out: Arc<Channel>,
+    /// Direction this end receives on.
+    inc: Arc<Channel>,
 }
 
 /// Creates a connected pair of endpoints.
 pub fn duplex_pair() -> (Endpoint, Endpoint) {
-    let (a_tx, b_rx) = unbounded();
-    let (b_tx, a_rx) = unbounded();
-    (Endpoint { tx: a_tx, rx: a_rx }, Endpoint { tx: b_tx, rx: b_rx })
+    let ab = Arc::new(Channel::default());
+    let ba = Arc::new(Channel::default());
+    let a = Endpoint::attach(ab.clone(), ba.clone());
+    let b = Endpoint::attach(ba, ab);
+    (a, b)
 }
 
 impl Endpoint {
+    fn attach(out: Arc<Channel>, inc: Arc<Channel>) -> Self {
+        out.senders.fetch_add(1, Ordering::SeqCst);
+        inc.receivers.fetch_add(1, Ordering::SeqCst);
+        Endpoint { out, inc }
+    }
+
     /// Sends one message.
     ///
     /// # Errors
-    /// [`OranError::Transport`] when the peer endpoint was dropped.
+    /// [`OranError::ChannelClosed`] when every clone of the peer endpoint
+    /// was dropped.
     pub fn send(&self, msg: Bytes) -> Result<(), OranError> {
-        self.tx.send(msg).map_err(|_| OranError::Transport("peer endpoint dropped".into()))
+        if self.out.receivers.load(Ordering::SeqCst) == 0 {
+            return Err(OranError::ChannelClosed("peer endpoint dropped"));
+        }
+        self.out.push(msg);
+        Ok(())
     }
 
     /// Receives the next pending message without blocking.
     ///
-    /// Returns `Ok(None)` when the queue is empty.
+    /// Returns `Ok(None)` when the queue is empty but the peer is alive.
     ///
     /// # Errors
-    /// [`OranError::Transport`] when the peer endpoint was dropped and the
-    /// queue is drained.
+    /// [`OranError::ChannelClosed`] when every clone of the peer endpoint
+    /// was dropped and the queue is drained.
     pub fn try_recv(&self) -> Result<Option<Bytes>, OranError> {
-        match self.rx.try_recv() {
-            Ok(m) => Ok(Some(m)),
-            Err(TryRecvError::Empty) => Ok(None),
-            Err(TryRecvError::Disconnected) => {
-                Err(OranError::Transport("peer endpoint dropped".into()))
-            }
+        if let Some(m) = self.inc.pop() {
+            return Ok(Some(m));
         }
+        if self.inc.senders.load(Ordering::SeqCst) == 0 {
+            return Err(OranError::ChannelClosed("peer endpoint dropped"));
+        }
+        Ok(None)
     }
 
     /// Drains all pending messages.
@@ -56,6 +99,19 @@ impl Endpoint {
             out.push(m);
         }
         out
+    }
+}
+
+impl Clone for Endpoint {
+    fn clone(&self) -> Self {
+        Endpoint::attach(self.out.clone(), self.inc.clone())
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        self.out.senders.fetch_sub(1, Ordering::SeqCst);
+        self.inc.receivers.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -81,9 +137,18 @@ impl FramedTcp {
     }
 
     /// Sends one frame.
+    ///
+    /// # Errors
+    /// [`OranError::Framing`] for payloads beyond [`MAX_FRAME_LEN`];
+    /// [`OranError::Io`] on socket failure.
     pub fn send(&mut self, payload: &[u8]) -> Result<(), OranError> {
-        let len = u32::try_from(payload.len())
-            .map_err(|_| OranError::Transport("frame too large".into()))?;
+        if payload.len() > MAX_FRAME_LEN {
+            return Err(OranError::Framing(format!(
+                "frame of {} bytes exceeds the {MAX_FRAME_LEN}-byte cap",
+                payload.len()
+            )));
+        }
+        let len = payload.len() as u32;
         self.stream.write_all(&len.to_be_bytes())?;
         self.stream.write_all(payload)?;
         self.stream.flush()?;
@@ -91,16 +156,32 @@ impl FramedTcp {
     }
 
     /// Receives one frame (blocking).
+    ///
+    /// # Errors
+    /// [`OranError::Framing`] when the declared length exceeds
+    /// [`MAX_FRAME_LEN`]; [`OranError::ChannelClosed`] when the peer
+    /// closes the socket cleanly between frames or mid-frame;
+    /// [`OranError::Io`] for other socket failures.
     pub fn recv(&mut self) -> Result<Bytes, OranError> {
         let mut len_buf = [0u8; 4];
-        self.stream.read_exact(&mut len_buf)?;
+        self.stream.read_exact(&mut len_buf).map_err(Self::map_eof)?;
         let len = u32::from_be_bytes(len_buf) as usize;
-        if len > 16 * 1024 * 1024 {
-            return Err(OranError::Transport(format!("unreasonable frame length {len}")));
+        if len > MAX_FRAME_LEN {
+            return Err(OranError::Framing(format!(
+                "declared frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"
+            )));
         }
         let mut payload = vec![0u8; len];
-        self.stream.read_exact(&mut payload)?;
+        self.stream.read_exact(&mut payload).map_err(Self::map_eof)?;
         Ok(Bytes::from(payload))
+    }
+
+    fn map_eof(e: std::io::Error) -> OranError {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            OranError::ChannelClosed("tcp peer closed the connection")
+        } else {
+            OranError::Io(e)
+        }
     }
 }
 
@@ -130,11 +211,33 @@ mod tests {
     }
 
     #[test]
-    fn dropped_peer_is_an_error() {
+    fn dropped_peer_is_channel_closed() {
         let (a, b) = duplex_pair();
         drop(b);
-        assert!(a.send(Bytes::from_static(b"x")).is_err());
-        assert!(a.try_recv().is_err());
+        assert!(matches!(a.send(Bytes::from_static(b"x")), Err(OranError::ChannelClosed(_))));
+        assert!(matches!(a.try_recv(), Err(OranError::ChannelClosed(_))));
+    }
+
+    #[test]
+    fn queued_messages_survive_peer_drop() {
+        // Like crossbeam: already-sent traffic drains before the closed
+        // channel reports.
+        let (a, b) = duplex_pair();
+        a.send(Bytes::from_static(b"last words")).unwrap();
+        drop(a);
+        assert_eq!(b.try_recv().unwrap().unwrap(), Bytes::from_static(b"last words"));
+        assert!(matches!(b.try_recv(), Err(OranError::ChannelClosed(_))));
+    }
+
+    #[test]
+    fn clones_keep_the_channel_open() {
+        let (a, b) = duplex_pair();
+        let b2 = b.clone();
+        drop(b);
+        a.send(Bytes::from_static(b"still here")).unwrap();
+        assert_eq!(b2.try_recv().unwrap().unwrap(), Bytes::from_static(b"still here"));
+        drop(b2);
+        assert!(a.send(Bytes::from_static(b"gone")).is_err());
     }
 
     #[test]
@@ -146,6 +249,18 @@ mod tests {
         let msgs = b.drain();
         assert_eq!(msgs.len(), 5);
         assert!(b.try_recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn endpoints_move_across_threads() {
+        let (a, b) = duplex_pair();
+        let t = thread::spawn(move || {
+            for i in 0..100u8 {
+                a.send(Bytes::copy_from_slice(&[i])).unwrap();
+            }
+        });
+        t.join().unwrap();
+        assert_eq!(b.drain().len(), 100);
     }
 
     #[test]
@@ -185,6 +300,45 @@ mod tests {
         client.send(&big).unwrap();
         assert_eq!(&client.recv().unwrap()[..], &[0]);
         assert_eq!(&client.recv().unwrap()[..], &100_000u32.to_be_bytes());
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn framed_tcp_peer_dropping_mid_frame_is_channel_closed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            // Declare a 100-byte frame but hang up after 10 bytes.
+            stream.write_all(&100u32.to_be_bytes()).unwrap();
+            stream.write_all(&[0xCC; 10]).unwrap();
+            stream.flush().unwrap();
+        });
+        let mut client = FramedTcp::connect(&addr.to_string()).unwrap();
+        let err = client.recv().unwrap_err();
+        assert!(
+            matches!(err, OranError::ChannelClosed(_)),
+            "mid-frame hangup must be ChannelClosed, got {err:?}"
+        );
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn framed_tcp_oversized_declared_length_is_framing_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            stream.write_all(&u32::MAX.to_be_bytes()).unwrap();
+            stream.flush().unwrap();
+            // Keep the socket open so the error is the length cap, not EOF.
+            let mut sink = [0u8; 1];
+            let _ = stream.read(&mut sink);
+        });
+        let mut client = FramedTcp::connect(&addr.to_string()).unwrap();
+        let err = client.recv().unwrap_err();
+        assert!(matches!(err, OranError::Framing(_)), "got {err:?}");
+        client.send(&[1]).unwrap();
         server.join().unwrap();
     }
 }

@@ -19,10 +19,8 @@ fn arb_e2() -> impl Strategy<Value = E2Message> {
                 mean_mcs_centi: m,
             })
         }),
-        (any::<u16>(), any::<u8>()).prop_map(|(a, m)| E2Message::ControlRequest {
-            airtime_milli: a,
-            max_mcs: m,
-        }),
+        (any::<u16>(), any::<u8>())
+            .prop_map(|(a, m)| E2Message::ControlRequest { airtime_milli: a, max_mcs: m }),
         Just(E2Message::ControlAck),
     ]
 }

@@ -48,8 +48,8 @@ impl Mcs {
 
 /// 3GPP 36.213 Table 7.2.3-1: spectral efficiency (bits/RE) per CQI 1..=15.
 const CQI_EFFICIENCY: [f64; 15] = [
-    0.1523, 0.2344, 0.3770, 0.6016, 0.8770, 1.1758, 1.4766, 1.9141, 2.4063, 2.7305, 3.3223,
-    3.9023, 4.5234, 5.1152, 5.5547,
+    0.1523, 0.2344, 0.3770, 0.6016, 0.8770, 1.1758, 1.4766, 1.9141, 2.4063, 2.7305, 3.3223, 3.9023,
+    4.5234, 5.1152, 5.5547,
 ];
 
 /// Spectral efficiency (bits per resource element) of an MCS index.

@@ -157,9 +157,8 @@ mod tests {
     fn mixture_equals_weighted_sum() {
         let m = BbuPowerModel::default();
         let p = m.power_mixture_w(&[0.3, 0.2], &[Mcs(5), Mcs(20)]);
-        let manual = m.idle_w
-            + 0.3 * (m.fft_w + m.decode_w(Mcs(5)))
-            + 0.2 * (m.fft_w + m.decode_w(Mcs(20)));
+        let manual =
+            m.idle_w + 0.3 * (m.fft_w + m.decode_w(Mcs(5))) + 0.2 * (m.fft_w + m.decode_w(Mcs(20)));
         assert!((p - manual).abs() < 1e-12);
     }
 

@@ -89,8 +89,7 @@ mod tests {
         assert!((10e6..12e6).contains(&rate), "slice rate {rate:.3e}");
         let bits = c.encode.bits(1.0);
         let e = c.encode.encode(1.0);
-        let d = e.preproc_s + bits / rate + c.gpu.t_base_full_s + c.dl_fixed_s
-            + c.stack_overhead_s;
+        let d = e.preproc_s + bits / rate + c.gpu.t_base_full_s + c.dl_fixed_s + c.stack_overhead_s;
         assert!((0.30..0.36).contains(&d), "max-resource delay {d}");
     }
 

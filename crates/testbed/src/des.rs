@@ -21,7 +21,7 @@ use edgebol_edge::{GpuSpeedPolicy, InferenceQueue};
 use edgebol_linalg::stats::normal;
 use edgebol_media::Dataset;
 use edgebol_ran::phy::SUBFRAME_S;
-use edgebol_ran::{cqi_from_snr, AirtimePolicy, McsPolicy, Mcs, SliceScheduler, UeLink, NUM_MCS};
+use edgebol_ran::{cqi_from_snr, AirtimePolicy, Mcs, McsPolicy, SliceScheduler, UeLink, NUM_MCS};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -161,8 +161,7 @@ impl DesTestbed {
             }
 
             // MAC grant for this subframe.
-            let mut links: Vec<UeLink> =
-                self.ues.iter().map(|u| u.link.clone()).collect();
+            let mut links: Vec<UeLink> = self.ues.iter().map(|u| u.link.clone()).collect();
             if let Some(grant) = self.scheduler.tick(&mut links, &mut self.rng) {
                 // Propagate channel-state evolution back.
                 for (u, l) in self.ues.iter_mut().zip(links) {
@@ -189,8 +188,7 @@ impl DesTestbed {
                             let (_, done) = self.queue.submit(now, control.resolution);
                             gpu_delay_acc += done - now;
                             gpu_jobs += 1;
-                            let finish =
-                                done + calib.dl_fixed_s + calib.stack_overhead_s;
+                            let finish = done + calib.dl_fixed_s + calib.stack_overhead_s;
                             ue.phase = Phase::Inference { done_s: finish };
                         }
                     }
@@ -224,8 +222,7 @@ impl DesTestbed {
         let server_power_w = calib.server_power.power_w(gpu_util, gamma);
 
         let total_sf = n_sf as f64;
-        let occupancies: Vec<f64> =
-            occupied_sf.iter().map(|&c| c as f64 / total_sf).collect();
+        let occupancies: Vec<f64> = occupied_sf.iter().map(|&c| c as f64 / total_sf).collect();
         let mcs_list: Vec<Mcs> = (0..NUM_MCS).map(|i| Mcs(i as u8)).collect();
         let bs_power_w = calib.bbu_power.power_mixture_w(&occupancies, &mcs_list);
 

@@ -179,8 +179,7 @@ impl FlowTestbed {
                 // open-queue M/D/1 term this stays finite at saturation —
                 // a closed system degrades to round-robin service of n
                 // jobs, it does not blow up.
-                let q_others: f64 =
-                    (0..n).filter(|&j| j != i).map(|j| res[j] / d[j]).sum();
+                let q_others: f64 = (0..n).filter(|&j| j != i).map(|j| res[j] / d[j]).sum();
                 let new_res = inf * (1.0 + q_others);
                 let new_d = pre + new_tx + new_res + fixed;
                 res[i] = 0.5 * res[i] + 0.5 * new_res;
@@ -196,9 +195,8 @@ impl FlowTestbed {
         let gpu_utilization = (lambda * inf).min(1.0);
         let server_power_w = c.server_power.power_w(gpu_utilization, gamma);
 
-        let mut occupancy: Vec<f64> = (0..n)
-            .map(|i| sf_per_image[i] / d[i] * phy::SUBFRAME_S)
-            .collect();
+        let mut occupancy: Vec<f64> =
+            (0..n).map(|i| sf_per_image[i] / d[i] * phy::SUBFRAME_S).collect();
         // The MAC cannot grant beyond the airtime cap.
         let total: f64 = occupancy.iter().sum();
         if total > alpha {
@@ -376,10 +374,7 @@ mod tests {
         low_mcs.mcs_cap = Mcs(6);
         let p_low = t.steady_state(&[35.0], &low_mcs).bs_power_w;
         let p_high = t.steady_state(&[35.0], &max_ctrl()).bs_power_w;
-        assert!(
-            p_high < p_low,
-            "Fig.5 regime: high MCS should consume less ({p_high} !< {p_low})"
-        );
+        assert!(p_high < p_low, "Fig.5 regime: high MCS should consume less ({p_high} !< {p_low})");
         assert!((4.0..8.0).contains(&p_low), "{p_low}");
     }
 

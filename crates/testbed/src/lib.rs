@@ -47,7 +47,10 @@ pub use scenario::Scenario;
 /// A per-period environment: observe a context, apply a control policy,
 /// receive the period's KPIs. This is the loop of Algorithm 1 seen from
 /// the testbed side.
-pub trait Environment {
+///
+/// `Send` so an orchestrator owning the environment can be driven from a
+/// worker thread (the parallel multi-seed runner in `edgebol-bench`).
+pub trait Environment: Send {
     /// Observes the context at the start of the period (`c_t`).
     fn observe_context(&mut self) -> ContextObs;
 

@@ -135,16 +135,12 @@ impl MultiServiceTestbed {
             }
         }
 
-        let gpu_utilization =
-            ((0..s).map(|j| inf[j] / d[j]).sum::<f64>()).min(1.0);
+        let gpu_utilization = ((0..s).map(|j| inf[j] / d[j]).sum::<f64>()).min(1.0);
         // The server runs at the fastest configured limit among services
         // (one physical GPU; the paper's extension would add a coupling
         // constraint here — we take the max-limit policy as the enforced
         // one, the conservative choice for power).
-        let gamma_max = controls
-            .iter()
-            .map(|x| x.gpu_speed)
-            .fold(0.0f64, f64::max);
+        let gamma_max = controls.iter().map(|x| x.gpu_speed).fold(0.0f64, f64::max);
         let server_power_w =
             c.server_power.power_w(gpu_utilization, GpuSpeedPolicy::clamped(gamma_max));
 
@@ -170,15 +166,14 @@ impl MultiServiceTestbed {
         let bs = self.meter.read(ss.bs_power_w, &mut self.rng);
         let out = (0..self.services.len())
             .map(|i| {
-                let map_seed =
-                    (self.period as u64).wrapping_mul(0x9E37_79B9) ^ (i as u64) << 7;
+                let map_seed = (self.period as u64).wrapping_mul(0x9E37_79B9) ^ (i as u64) << 7;
                 let map = self.datasets[i].evaluate_map(
                     &self.calib.detector,
                     controls[i].resolution,
                     map_seed,
                 );
-                let delay = ss.delays_s[i]
-                    * (1.0 + normal(&mut self.rng, 0.0, self.calib.delay_noise_rel));
+                let delay =
+                    ss.delays_s[i] * (1.0 + normal(&mut self.rng, 0.0, self.calib.delay_noise_rel));
                 PeriodObservation {
                     delay_s: delay.max(1e-3),
                     gpu_delay_s: ss.delays_s[i].min(1.0), // coupled; detail KPI
@@ -230,7 +225,8 @@ mod tests {
         // With one service the joint model must reduce to the single-user
         // flow model.
         let multi = testbed(1);
-        let flow = crate::FlowTestbed::new(Calibration::fast(), crate::Scenario::single_user(35.0), 9);
+        let flow =
+            crate::FlowTestbed::new(Calibration::fast(), crate::Scenario::single_user(35.0), 9);
         let x = ctl(1.0, 1.0);
         let joint = multi.joint_steady_state(&[x]);
         let single = flow.steady_state(&[35.0], &x);

@@ -36,9 +36,8 @@ impl Scenario {
     pub fn heterogeneous(n: usize) -> Self {
         assert!(n > 0, "need at least one user");
         let base = 30.0;
-        let users = (0..n)
-            .map(|i| UserCfg { offset_db: base * 0.8f64.powi(i as i32) - base })
-            .collect();
+        let users =
+            (0..n).map(|i| UserCfg { offset_db: base * 0.8f64.powi(i as i32) - base }).collect();
         Scenario { trace: SnrTrace::constant(base), users }
     }
 

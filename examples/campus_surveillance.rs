@@ -25,8 +25,9 @@ fn run_phase(label: &str, delta2: f64, periods: usize, seed: u64) -> Trace {
     let spec = ProblemSpec::new(1.0, delta2, 3.0, 0.5);
     let env = FlowTestbed::new(Calibration::default(), Scenario::heterogeneous(4), seed);
     let agent = EdgeBolAgent::paper(&spec, seed);
-    let mut orch = Orchestrator::new(Box::new(env), Box::new(agent), spec);
-    let trace = orch.run(periods);
+    let mut orch = Orchestrator::new(Box::new(env), Box::new(agent), spec)
+        .expect("in-process O-RAN chain wires up");
+    let trace = orch.try_run(periods).expect("in-process control plane");
     let u = trace.tail_mean_control(20);
     println!("--- {label} (delta2 = {delta2}) ---");
     println!("  converged cost            : {:>8.1} mu/period", trace.tail_mean_cost(20));
@@ -39,10 +40,7 @@ fn run_phase(label: &str, delta2: f64, periods: usize, seed: u64) -> Trace {
         mean_tail(&trace.server_powers()),
         mean_tail(&trace.bs_powers()),
     );
-    println!(
-        "  SLO satisfaction          : {:.1}%",
-        trace.satisfaction_rate(15) * 100.0
-    );
+    println!("  SLO satisfaction          : {:.1}%", trace.satisfaction_rate(15) * 100.0);
     trace
 }
 

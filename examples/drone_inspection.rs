@@ -24,6 +24,7 @@ fn main() {
     let env = DesTestbed::new(Calibration::default(), Scenario::dynamic(), 11);
     let agent = EdgeBolAgent::paper(&spec, 11);
     let mut orch = Orchestrator::new(Box::new(env), Box::new(agent), spec)
+        .expect("in-process O-RAN chain wires up")
         .with_constraint_schedule(vec![(75, 0.6, 0.5)]);
     orch.record_safe_set = true;
 
@@ -32,7 +33,7 @@ fn main() {
     let mut violations_before = 0;
     let mut violations_after = 0;
     for t in 0..150 {
-        let r = orch.step_once();
+        let r = orch.try_step().expect("in-process control plane");
         if t % 6 == 0 {
             let u = r.control.to_unit();
             println!(

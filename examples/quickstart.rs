@@ -23,11 +23,20 @@ fn main() {
     let env = FlowTestbed::new(Calibration::default(), Scenario::single_user(35.0), 42);
     let agent = EdgeBolAgent::paper(&spec, 42);
 
-    let mut orch = Orchestrator::new(Box::new(env), Box::new(agent), spec);
+    let mut orch = Orchestrator::new(Box::new(env), Box::new(agent), spec)
+        .expect("in-process O-RAN chain wires up");
     println!("t    cost     delay   mAP    server_W  bs_W   control [res, airtime, gpu, mcs]  ok");
     let mut trace = edgebol_core::trace::Trace::default();
     for t in 0..80 {
-        let r = orch.step_once();
+        // `try_step` surfaces control-plane failures as typed errors; the
+        // in-process chain never loses a link, so failing is fatal here.
+        let r = match orch.try_step() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("orchestration aborted at t = {t}: {e}");
+                std::process::exit(1);
+            }
+        };
         if t % 5 == 0 || t < 3 {
             let u = r.control.to_unit();
             println!(
@@ -57,8 +66,7 @@ fn main() {
     );
     println!(
         "energy saving vs always-max-resources: {:.1}%",
-        (mean(&trace.costs()[..5]) - trace.tail_mean_cost(10)) / mean(&trace.costs()[..5])
-            * 100.0
+        (mean(&trace.costs()[..5]) - trace.tail_mean_cost(10)) / mean(&trace.costs()[..5]) * 100.0
     );
 }
 

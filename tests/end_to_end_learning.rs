@@ -11,7 +11,10 @@ use edgebol_testbed::{Calibration, ControlInput, DesTestbed, FlowTestbed, Scenar
 fn run_edgebol(spec: ProblemSpec, periods: usize, seed: u64) -> Trace {
     let env = FlowTestbed::new(Calibration::fast(), Scenario::single_user(35.0), seed);
     let agent = EdgeBolAgent::paper(&spec, seed);
-    Orchestrator::new(Box::new(env), Box::new(agent), spec).run(periods)
+    Orchestrator::new(Box::new(env), Box::new(agent), spec)
+        .expect("in-process setup")
+        .try_run(periods)
+        .expect("in-process control plane")
 }
 
 #[test]
@@ -20,11 +23,7 @@ fn converges_and_stays_safe_on_flow_testbed() {
     let trace = run_edgebol(spec, 120, 21);
     // Paper §6.2: converges within ~25 periods; constraints hold with
     // high probability upon convergence.
-    assert!(
-        trace.satisfaction_rate(30) > 0.9,
-        "satisfaction {}",
-        trace.satisfaction_rate(30)
-    );
+    assert!(trace.satisfaction_rate(30) > 0.9, "satisfaction {}", trace.satisfaction_rate(30));
     let early = trace.costs()[..12].iter().sum::<f64>() / 12.0;
     let late = trace.tail_mean_cost(20);
     assert!(late < early, "no learning: early {early:.1} late {late:.1}");
@@ -37,12 +36,11 @@ fn learning_works_on_the_des_too() {
     let spec = ProblemSpec::new(1.0, 8.0, 0.5, 0.4);
     let env = DesTestbed::new(Calibration::fast(), Scenario::single_user(35.0), 22);
     let agent = EdgeBolAgent::paper(&spec, 22);
-    let trace = Orchestrator::new(Box::new(env), Box::new(agent), spec).run(60);
-    assert!(
-        trace.satisfaction_rate(20) > 0.8,
-        "satisfaction {}",
-        trace.satisfaction_rate(20)
-    );
+    let trace = Orchestrator::new(Box::new(env), Box::new(agent), spec)
+        .expect("in-process setup")
+        .try_run(60)
+        .expect("in-process control plane");
+    assert!(trace.satisfaction_rate(20) > 0.8, "satisfaction {}", trace.satisfaction_rate(20));
     assert!(trace.tail_mean_cost(10) < trace.costs()[..8].iter().sum::<f64>() / 8.0);
 }
 
@@ -57,20 +55,16 @@ fn oracle_gap_is_small_on_the_convergence_setting() {
     let grid = ControlGrid::paper();
     let probe = FlowTestbed::new(Calibration::default(), Scenario::single_user(35.0), 0);
     let mut map_cache = std::collections::HashMap::new();
-    let oracle = Oracle::search(
-        &grid,
-        &Constraints { d_max: spec.d_max, rho_min: spec.rho_min },
-        |idx| {
+    let oracle =
+        Oracle::search(&grid, &Constraints { d_max: spec.d_max, rho_min: spec.rho_min }, |idx| {
             let c = grid.coords(idx);
             let control = ControlInput::from_unit(c[0], c[1], c[2], c[3]);
             let ss = probe.steady_state(&[35.0], &control);
             let key = (control.resolution * 1000.0).round() as i64;
-            let rho = *map_cache
-                .entry(key)
-                .or_insert_with(|| probe.expected_map(control.resolution));
+            let rho =
+                *map_cache.entry(key).or_insert_with(|| probe.expected_map(control.resolution));
             (ss.server_power_w + spec.delta2 * ss.bs_power_w, ss.worst_delay_s(), rho)
-        },
-    );
+        });
     assert!(oracle.feasible, "medium setting must be feasible");
     let gap = (trace.tail_mean_cost(20) - oracle.best_cost) / oracle.best_cost;
     assert!(
@@ -98,19 +92,16 @@ fn edgebol_adapts_to_constraint_changes_faster_than_ddpg() {
     let run = |agent: Box<dyn edgebol_core::agent::Agent>| -> Trace {
         let env = FlowTestbed::new(Calibration::fast(), Scenario::single_user(35.0), 24);
         let mut orch = Orchestrator::new(Box::new(env), agent, spec)
+            .expect("in-process setup")
             .with_constraint_schedule(schedule.clone());
-        orch.run(240)
+        orch.try_run(240).expect("in-process control plane")
     };
     let eb = run(Box::new(EdgeBolAgent::paper(&spec, 25)));
     let dd = run(Box::new(DdpgAgent::new(&spec, 25)));
-    let viol = |t: &Trace| {
-        t.records[120..240].iter().filter(|r| !r.satisfied).count() as f64 / 120.0
-    };
+    let viol =
+        |t: &Trace| t.records[120..240].iter().filter(|r| !r.satisfied).count() as f64 / 120.0;
     let (v_eb, v_dd) = (viol(&eb), viol(&dd));
-    assert!(
-        v_eb < v_dd,
-        "EdgeBOL should adapt better: {v_eb:.2} vs DDPG {v_dd:.2}"
-    );
+    assert!(v_eb < v_dd, "EdgeBOL should adapt better: {v_eb:.2} vs DDPG {v_dd:.2}");
     assert!(v_eb < 0.35, "EdgeBOL violation rate after change too high: {v_eb:.2}");
 }
 
@@ -124,26 +115,25 @@ fn multi_user_learning_close_to_oracle() {
     // toward the (long-delay, low-power) optimum of this lax setting.
     let env = FlowTestbed::new(Calibration::default(), scenario.clone(), 0xC00);
     let agent = EdgeBolAgent::paper(&spec, 0x55);
-    let trace = Orchestrator::new(Box::new(env), Box::new(agent), spec).run(250);
+    let trace = Orchestrator::new(Box::new(env), Box::new(agent), spec)
+        .expect("in-process setup")
+        .try_run(250)
+        .expect("in-process control plane");
 
     let grid = ControlGrid::paper();
     let probe = FlowTestbed::new(Calibration::default(), scenario.clone(), 0);
     let snrs = [30.0, 24.0, 19.2, 15.36];
     let mut map_cache = std::collections::HashMap::new();
-    let oracle = Oracle::search(
-        &grid,
-        &Constraints { d_max: spec.d_max, rho_min: spec.rho_min },
-        |idx| {
+    let oracle =
+        Oracle::search(&grid, &Constraints { d_max: spec.d_max, rho_min: spec.rho_min }, |idx| {
             let c = grid.coords(idx);
             let control = ControlInput::from_unit(c[0], c[1], c[2], c[3]);
             let ss = probe.steady_state(&snrs, &control);
             let key = (control.resolution * 1000.0).round() as i64;
-            let rho = *map_cache
-                .entry(key)
-                .or_insert_with(|| probe.expected_map(control.resolution));
+            let rho =
+                *map_cache.entry(key).or_insert_with(|| probe.expected_map(control.resolution));
             (ss.server_power_w + spec.delta2 * ss.bs_power_w, ss.worst_delay_s(), rho)
-        },
-    );
+        });
     assert!(oracle.feasible);
     let gap = (trace.tail_mean_cost(20) - oracle.best_cost) / oracle.best_cost;
     assert!(gap < 0.20, "multi-user gap {:.1}%", gap * 100.0);

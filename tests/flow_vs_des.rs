@@ -45,12 +45,8 @@ fn single_user_grid_agreement() {
     for &res in &[0.25, 0.5, 1.0] {
         for &airtime in &[0.3, 1.0] {
             for &gpu in &[0.2, 1.0] {
-                let control = ControlInput {
-                    resolution: res,
-                    airtime,
-                    gpu_speed: gpu,
-                    mcs_cap: Mcs::MAX,
-                };
+                let control =
+                    ControlInput { resolution: res, airtime, gpu_speed: gpu, mcs_cap: Mcs::MAX };
                 let ss = flow.steady_state(&[35.0], &control);
                 let (d_des, srv_des, bs_des) = des_point(&scenario, &control);
                 assert_close("delay", ss.worst_delay_s(), d_des, 0.15, &control);
@@ -81,12 +77,7 @@ fn poor_channel_agreement_with_harq() {
     // must account for HARQ consistently.
     let scenario = Scenario::single_user(10.0);
     let flow = FlowTestbed::new(Calibration::default(), scenario.clone(), 3);
-    let control = ControlInput {
-        resolution: 0.5,
-        airtime: 1.0,
-        gpu_speed: 1.0,
-        mcs_cap: Mcs::MAX,
-    };
+    let control = ControlInput { resolution: 0.5, airtime: 1.0, gpu_speed: 1.0, mcs_cap: Mcs::MAX };
     let ss = flow.steady_state(&[10.0], &control);
     let (d_des, _, _) = des_point(&scenario, &control);
     assert_close("delay", ss.worst_delay_s(), d_des, 0.20, &control);
@@ -97,12 +88,8 @@ fn multi_user_agreement() {
     let scenario = Scenario::heterogeneous(3);
     let flow = FlowTestbed::new(Calibration::default(), scenario.clone(), 4);
     let snrs = [30.0, 24.0, 19.2];
-    let control = ControlInput {
-        resolution: 0.75,
-        airtime: 1.0,
-        gpu_speed: 1.0,
-        mcs_cap: Mcs::MAX,
-    };
+    let control =
+        ControlInput { resolution: 0.75, airtime: 1.0, gpu_speed: 1.0, mcs_cap: Mcs::MAX };
     let ss = flow.steady_state(&snrs, &control);
     let (d_des, srv_des, bs_des) = des_point(&scenario, &control);
     // Multi-user sharing adds approximation error (round-robin vs the

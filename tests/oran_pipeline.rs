@@ -7,8 +7,8 @@ use edgebol_core::agent::EdgeBolAgent;
 use edgebol_core::orchestrator::Orchestrator;
 use edgebol_core::problem::ProblemSpec;
 use edgebol_oran::{
-    duplex_pair, A1Message, E2Codec, E2Message, E2Node, FramedTcp, KpiReport, NearRtRic,
-    NonRtRic, PolicyStatus, RadioPolicy, RicEvent,
+    duplex_pair, A1Message, E2Codec, E2Message, E2Node, FramedTcp, KpiReport, NearRtRic, NonRtRic,
+    PolicyStatus, RadioPolicy, RicEvent,
 };
 use edgebol_testbed::{Calibration, FlowTestbed, Scenario};
 use std::net::TcpListener;
@@ -32,10 +32,9 @@ fn a1_json_interoperates_with_e2_binary_end_to_end() {
         node.poll().unwrap();
         nearrt.poll().unwrap();
         let events = nonrt.poll().unwrap();
-        assert!(events.iter().any(|e| matches!(
-            e,
-            RicEvent::PolicyFeedback { status: PolicyStatus::Enforced, .. }
-        )));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, RicEvent::PolicyFeedback { status: PolicyStatus::Enforced, .. })));
     }
     let applied = applied.lock().unwrap();
     assert_eq!(applied.len(), 4);
@@ -133,7 +132,10 @@ fn orchestrator_policies_actually_transit_the_control_plane() {
     let spec = ProblemSpec::new(1.0, 8.0, 0.5, 0.4);
     let env = FlowTestbed::new(Calibration::fast(), Scenario::single_user(35.0), 31);
     let agent = EdgeBolAgent::quick_for_tests(&spec, 31);
-    let trace = Orchestrator::new(Box::new(env), Box::new(agent), spec).run(15);
+    let trace = Orchestrator::new(Box::new(env), Box::new(agent), spec)
+        .expect("in-process setup")
+        .try_run(15)
+        .expect("in-process control plane");
     for r in &trace.records {
         let milli = r.control.airtime * 1000.0;
         assert!(

@@ -1,0 +1,80 @@
+//! The parallel multi-seed runner must be a pure optimization: same
+//! seeds in, bit-identical traces out, regardless of thread count or
+//! scheduling. Each repetition owns its environment, agent and O-RAN
+//! chain, so the only way runs could differ is shared mutable state —
+//! which is exactly what this test guards against.
+
+use edgebol_bench::{parallel_map, run_once, run_reps, try_run_reps, worker_threads};
+use edgebol_core::agent::{Agent, EdgeBolAgent};
+use edgebol_core::problem::ProblemSpec;
+use edgebol_core::trace::Trace;
+use edgebol_testbed::{Calibration, Environment, FlowTestbed, Scenario};
+
+const REPS: usize = 6;
+const PERIODS: usize = 15;
+
+fn spec() -> ProblemSpec {
+    ProblemSpec::new(1.0, 8.0, 0.5, 0.4)
+}
+
+fn env_factory(seed: u64) -> Box<dyn Environment> {
+    Box::new(FlowTestbed::new(Calibration::fast(), Scenario::single_user(35.0), 0x7A + seed))
+}
+
+fn agent_factory(seed: u64) -> Box<dyn Agent> {
+    Box::new(EdgeBolAgent::quick_for_tests(&spec(), 0x11 + seed))
+}
+
+/// The sequential reference: the exact loop `run_reps` replaced.
+fn sequential_reps() -> Vec<Trace> {
+    (0..REPS as u64)
+        .map(|seed| {
+            run_once(env_factory(seed), agent_factory(seed), spec(), PERIODS, false, Vec::new())
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_and_sequential_traces_are_bit_identical() {
+    let parallel = run_reps(REPS, PERIODS, spec(), env_factory, agent_factory);
+    let sequential = sequential_reps();
+    assert_eq!(parallel.len(), sequential.len());
+    // Structural equality over every record (context, control, KPIs,
+    // cost, satisfaction) ...
+    assert_eq!(parallel, sequential);
+    // ... and bit-level equality of the float series, which `==` alone
+    // would not distinguish from mere value equality (-0.0 vs 0.0).
+    for (p, s) in parallel.iter().zip(&sequential) {
+        let pc: Vec<u64> = p.costs().iter().map(|c| c.to_bits()).collect();
+        let sc: Vec<u64> = s.costs().iter().map(|c| c.to_bits()).collect();
+        assert_eq!(pc, sc);
+    }
+}
+
+#[test]
+fn try_run_reps_collects_per_seed_results_in_seed_order() {
+    let results = try_run_reps(REPS, PERIODS, spec(), env_factory, agent_factory);
+    assert_eq!(results.len(), REPS);
+    let sequential = sequential_reps();
+    for (seed, (r, want)) in results.into_iter().zip(sequential).enumerate() {
+        let trace = r.unwrap_or_else(|e| panic!("seed {seed} failed: {e}"));
+        assert_eq!(trace, want, "seed {seed} diverged");
+    }
+}
+
+#[test]
+fn parallel_map_matches_sequential_map_under_load() {
+    // Plain-function sanity check decoupled from the orchestrator:
+    // heavier jobs at low indices force out-of-order completion.
+    let f = |i: usize| -> u64 {
+        let mut acc = 0xABCD ^ i as u64;
+        for _ in 0..(200 - i) * 500 {
+            acc = acc.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        }
+        acc
+    };
+    let parallel = parallel_map(200, f);
+    let sequential: Vec<u64> = (0..200).map(f).collect();
+    assert_eq!(parallel, sequential);
+    assert!(worker_threads() >= 1);
+}

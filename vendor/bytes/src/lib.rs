@@ -1,0 +1,275 @@
+//! Offline stand-in for the [`bytes`](https://docs.rs/bytes) crate.
+//!
+//! The build container has no access to crates.io, so the workspace
+//! vendors the exact API subset it consumes: [`Bytes`], [`BytesMut`] and
+//! the [`Buf`]/[`BufMut`] trait methods used by the E2 codec and the
+//! transports. Semantics match the upstream crate for this subset
+//! (big-endian integer accessors, incremental `advance`/`split_to`
+//! framing); the representation is a plain `Vec<u8>` rather than a
+//! refcounted slab, which is ample for the control-plane message sizes
+//! this workspace moves.
+
+use std::ops::{Deref, DerefMut};
+
+/// An immutable byte buffer (cheap enough to clone at control-plane
+/// message sizes).
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes { data: Vec::new() }
+    }
+
+    /// Wraps a static slice.
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Bytes { data: s.to_vec() }
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        Bytes { data: s.to_vec() }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes { data: s.into_bytes() }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes { data: s.as_bytes().to_vec() }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in &self.data {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+/// A growable byte buffer with a read cursor at the front.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    /// Appends a slice at the back.
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+
+    /// Splits off and returns the first `n` bytes.
+    ///
+    /// # Panics
+    /// Panics when `n` exceeds the buffered length (as upstream does).
+    pub fn split_to(&mut self, n: usize) -> BytesMut {
+        assert!(n <= self.data.len(), "split_to out of bounds");
+        let rest = self.data.split_off(n);
+        BytesMut { data: std::mem::replace(&mut self.data, rest) }
+    }
+
+    /// Drops all buffered bytes.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", Bytes { data: self.data.clone() })
+    }
+}
+
+/// Read-side cursor operations (big-endian, as upstream).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Discards the next `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Copies out the next `n` bytes.
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes;
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.copy_to_bytes(1);
+        b[0]
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let b = self.copy_to_bytes(2);
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let b = self.copy_to_bytes(4);
+        u32::from_be_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let b = self.copy_to_bytes(8);
+        u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.data.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.data.len(), "advance out of bounds");
+        self.data.drain(..n);
+    }
+
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.data.len(), "copy_to_bytes out of bounds");
+        Bytes { data: self.data.drain(..n).collect() }
+    }
+}
+
+/// Write-side append operations (big-endian, as upstream).
+pub trait BufMut {
+    /// Appends a slice.
+    fn put_slice(&mut self, s: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_integers_big_endian() {
+        let mut b = BytesMut::new();
+        b.put_u8(0xAB);
+        b.put_u16(0x0102);
+        b.put_u32(0x03040506);
+        b.put_u64(0x0708090A0B0C0D0E);
+        assert_eq!(b.len(), 15);
+        assert_eq!(b[1], 0x01, "big endian");
+        assert_eq!(b.get_u8(), 0xAB);
+        assert_eq!(b.get_u16(), 0x0102);
+        assert_eq!(b.get_u32(), 0x03040506);
+        assert_eq!(b.get_u64(), 0x0708090A0B0C0D0E);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn split_and_advance() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"hello world");
+        b.advance(6);
+        let head = b.split_to(5);
+        assert_eq!(&head[..], b"world");
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn freeze_and_compare() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"x");
+        assert_eq!(b.freeze(), Bytes::from_static(b"x"));
+    }
+}

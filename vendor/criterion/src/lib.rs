@@ -1,0 +1,207 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The build container has no access to crates.io, so this shim keeps
+//! the workspace's `benches/` compiling and producing useful numbers:
+//! it really times the closures (median / mean / p90 over the sample
+//! count, after a warm-up), it just skips upstream's statistical
+//! regression machinery, plotting and HTML reports. The configuration
+//! knobs the benches set (`sample_size`, `measurement_time`,
+//! `warm_up_time`) are honoured in spirit: warm-up runs until the
+//! configured time elapses, then each sample is timed with enough inner
+//! iterations to amortise clock overhead within the measurement budget.
+//!
+//! Like upstream with `harness = false`, filtering works positionally:
+//! `cargo bench -- <substring>` runs only matching benchmark ids.
+
+use std::time::{Duration, Instant};
+
+/// Collects one benchmark's measurements.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, amortised over repeated calls per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many inner iterations fit ~1/sample_size of the
+        // measurement budget?
+        let probe = Instant::now();
+        std::hint::black_box(routine());
+        let once = probe.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        let inner = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..inner {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t.elapsed() / inner as u32);
+        }
+    }
+
+    /// Times `routine` on fresh `setup()` input each iteration; only the
+    /// routine is on the clock.
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+    ) {
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            filter: std::env::args().skip(1).find(|a| !a.starts_with('-')),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget run before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its summary line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        // Warm-up: run the body (untimed) until the budget elapses.
+        let warm = Instant::now();
+        while warm.elapsed() < self.warm_up_time {
+            f(&mut b);
+            if b.samples.is_empty() {
+                break; // body never called iter(); nothing to warm.
+            }
+        }
+        f(&mut b);
+
+        if b.samples.is_empty() {
+            println!("{id:<40} (no measurements)");
+            return self;
+        }
+        b.samples.sort_unstable();
+        let median = b.samples[b.samples.len() / 2];
+        let p90 = b.samples[(b.samples.len() * 9 / 10).min(b.samples.len() - 1)];
+        let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+        println!(
+            "{id:<40} median {:>12?}  mean {:>12?}  p90 {:>12?}  ({} samples)",
+            median,
+            mean,
+            p90,
+            b.samples.len(),
+        );
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, optionally with a shared
+/// config expression (both upstream forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut c: $crate::Criterion = $config;
+                $target(&mut c);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_loop_produces_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(5));
+        let mut acc = 0u64;
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                acc = acc.wrapping_add(1);
+                acc
+            })
+        });
+        c.bench_function("with_setup", |b| {
+            b.iter_with_setup(|| vec![1u64; 64], |v| v.iter().sum::<u64>())
+        });
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(10),
+            warm_up_time: Duration::from_millis(1),
+            filter: Some("nomatch".into()),
+        };
+        c.bench_function("other", |_b| panic!("must be filtered out"));
+    }
+}

@@ -1,0 +1,441 @@
+//! Offline stand-in for the [`proptest`](https://docs.rs/proptest) crate.
+//!
+//! The build container has no access to crates.io, so this shim
+//! reimplements the subset the workspace's property tests use: the
+//! [`Strategy`] trait (`prop_map`, `boxed`), range/tuple/`Just`/`any`/
+//! char-class-regex strategies, `proptest::collection::vec`, and the
+//! `proptest!`/`prop_assert!`/`prop_assert_eq!`/`prop_oneof!` macros.
+//!
+//! Differences from upstream, on purpose:
+//! - **No shrinking.** A failing case reports its inputs (via the
+//!   assertion message) and the deterministic case number; rerunning
+//!   reproduces it exactly.
+//! - **Deterministic seeding.** Case `i` of test `t` draws from a
+//!   generator seeded by `fnv1a(t) ^ i`, so runs are reproducible across
+//!   machines with no persistence files (`proptest-regressions/` is
+//!   ignored).
+//! - Case count defaults to 64 (override with `PROPTEST_CASES`).
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// The generator handed to strategies; re-exported so `impl Strategy`
+/// signatures in test helper functions stay crate-agnostic.
+pub type TestRng = SmallRng;
+
+/// A value generator. Upstream couples generation with shrinking; this
+/// shim only generates.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives (what `prop_oneof!` builds).
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// Builds a union; panics on an empty alternative list.
+    pub fn new(alts: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!alts.is_empty(), "prop_oneof! needs at least one arm");
+        Union(alts)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.random_range(0..self.0.len());
+        self.0[i].generate(rng)
+    }
+}
+
+/// The full uniform domain of `T` (upstream's `any::<T>()`).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Builds an [`Any`] strategy for `T`.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! any_uint {
+    ($($t:ty => $bits:expr),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                (rng.random::<u64>() >> (64 - $bits)) as $t
+            }
+        }
+    )*};
+}
+
+any_uint!(u8 => 8, u16 => 16, u32 => 32, u64 => 64, usize => usize::BITS, i32 => 32, i64 => 64);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.random()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i32, i64, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+/// `&str` patterns act as string strategies. This shim supports the one
+/// regex shape the workspace uses — a single character class with a
+/// bounded repetition, `"[<class>]{m,n}"` — and rejects anything else
+/// loudly at generation time.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_class_repeat(self).unwrap_or_else(|| {
+            panic!("unsupported regex strategy {self:?} (shim handles `[class]{{m,n}}`)")
+        });
+        let len = rng.random_range(lo..=hi);
+        (0..len).map(|_| alphabet[rng.random_range(0..alphabet.len())]).collect()
+    }
+}
+
+fn parse_class_repeat(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let (class, rep) = rest.split_once(']')?;
+    let rep = rep.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = rep.split_once(',')?;
+    let (lo, hi) = (lo.parse().ok()?, hi.parse().ok()?);
+    if lo > hi {
+        return None;
+    }
+    let chars: Vec<char> = class.chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // `a-z` is a range unless the dash starts or ends the class.
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (a, b) = (chars[i], chars[i + 2]);
+            if a > b {
+                return None;
+            }
+            alphabet.extend((a..=b).filter(|c| c.is_ascii()));
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        return None;
+    }
+    Some((alphabet, lo, hi))
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+
+    /// Lengths accepted by [`vec`]: a fixed size or a (half-open or
+    /// inclusive) range.
+    pub trait SizeRange {
+        /// Draws a length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, L> {
+        elem: S,
+        len: L,
+    }
+
+    /// A strategy for `Vec`s of `elem`-generated values with length
+    /// drawn from `len`.
+    pub fn vec<S: Strategy, L: SizeRange>(elem: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// The glob import every property test starts with.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, Strategy,
+    };
+}
+
+#[doc(hidden)]
+pub fn __fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF29CE484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001B3);
+    }
+    h
+}
+
+#[doc(hidden)]
+pub fn __case_count() -> usize {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+#[doc(hidden)]
+pub fn __rng_for_case(test_name: &str, case: usize) -> TestRng {
+    SeedableRng::seed_from_u64(__fnv1a(test_name) ^ case as u64)
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body across deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::__case_count();
+            for case in 0..cases {
+                let mut rng = $crate::__rng_for_case(stringify!($name), case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                let body = || {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                let outcome: ::std::result::Result<(), ::std::string::String> = body();
+                if let ::std::result::Result::Err(msg) = outcome {
+                    panic!(
+                        "property `{}` failed at case {case}/{cases} \
+                         (deterministic; rerun reproduces it): {msg}",
+                        stringify!($name),
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` that fails the current proptest case with context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        // Bind first: negating `$cond` directly trips clippy's
+        // neg_cmp_op_on_partial_ord when the condition is a float compare.
+        let holds: bool = $cond;
+        if !holds {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// `assert_eq!` for proptest cases.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` for proptest cases.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: both sides are {:?}", a);
+    }};
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($alt:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($alt)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Shape {
+        Dot,
+        Line(u8),
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u8..=28, f in -1.0f64..1.0, n in 1usize..5) {
+            prop_assert!((3..=28).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn vec_and_tuple_compose(
+            v in crate::collection::vec(0u64..10, 2..6),
+            pair in (any::<u16>(), 0.0f64..=1.0),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 10));
+            prop_assert!(pair.1 <= 1.0);
+        }
+
+        #[test]
+        fn oneof_and_map_cover_all_arms(s in prop_oneof![
+            Just(Shape::Dot),
+            any::<u8>().prop_map(Shape::Line),
+        ]) {
+            match s {
+                Shape::Dot | Shape::Line(_) => {}
+            }
+        }
+
+        #[test]
+        fn regex_class_strategy(id in "[a-zA-Z0-9_.:-]{1,32}") {
+            prop_assert!(!id.is_empty() && id.len() <= 32);
+            prop_assert!(id.chars().all(|c| c.is_ascii_alphanumeric()
+                || matches!(c, '_' | '.' | ':' | '-')));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a: Vec<u64> = (0..5)
+            .map(|i| crate::Strategy::generate(&(0u64..1000), &mut crate::__rng_for_case("t", i)))
+            .collect();
+        let b: Vec<u64> = (0..5)
+            .map(|i| crate::Strategy::generate(&(0u64..1000), &mut crate::__rng_for_case("t", i)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for the [`serde`](https://docs.rs/serde) crate.
+//!
+//! The build container has no access to crates.io. The workspace uses
+//! serde only as `#[derive(Serialize, Deserialize)]` annotations on data
+//! types — the single place that actually serialized anything (the A1
+//! policy wire format in `edgebol-oran`) carries its own hand-rolled
+//! JSON codec so the wire format is explicit and panic-free. This shim
+//! therefore provides the two trait names as markers and re-exports
+//! no-op derive macros from `serde_derive`, keeping the annotations
+//! compiling (and the derived types honest about intent) without any
+//! serialization machinery.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; real serialization lives in hand-rolled codecs.
+pub trait Serialize {}
+
+/// Marker trait; real deserialization lives in hand-rolled codecs.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
