@@ -7,7 +7,8 @@
 //! 3. deploys the **radio** half (airtime, MCS cap) through the real
 //!    rApp → A1 → xApp → E2 → O-eNB chain and waits for the `Enforced`
 //!    feedback — the policy that reaches the environment is the one the
-//!    E2 node actually applied (including A1's milli-unit quantization),
+//!    E2 node actually applied (including the E2 `ControlRequest` wire
+//!    format's milli-unit airtime quantization),
 //! 4. runs the period and routes the BS-power KPI back through the E2
 //!    indication → data-collector rApp path, exactly as §4.1 describes,
 //! 5. feeds the period's outcome to the agent and records it.
@@ -210,7 +211,8 @@ impl Orchestrator {
     /// previous configuration — so the period proceeds under the **last
     /// enforced** policy. Before any policy was ever enforced, the
     /// requested one is applied locally with the same quantization the
-    /// A1 wire format would impose.
+    /// E2 `ControlRequest` wire format (`airtime_milli: u16`) would
+    /// impose.
     ///
     /// # Errors
     /// [`OrchestratorError::ControlPlane`] when a hop reports a lost
@@ -231,9 +233,12 @@ impl Orchestrator {
         let applied = match fresh.or(self.last_enforced) {
             Some(p) => p,
             None => {
-                // Nothing ever enforced: mirror the A1 milli-unit
-                // quantization locally so the trace stays consistent
-                // with what the chain would have delivered.
+                // Nothing ever enforced: mirror the E2 ControlRequest
+                // milli-unit quantization (airtime_milli: u16) locally
+                // so the trace stays consistent with what the chain
+                // would have delivered. (A1 itself round-trips f64
+                // airtime bit-exactly; the quantization happens at the
+                // E2 hop.)
                 self.degraded_events += 1;
                 RadioPolicy {
                     airtime: (policy.airtime * 1000.0).round() / 1000.0,
@@ -256,7 +261,10 @@ impl Orchestrator {
     /// Degraded mode: a recoverable control-plane error, or an
     /// indication that never surfaces as a KPI event, falls back to the
     /// locally measured `bs_power_w` (the sample the node would have
-    /// reported).
+    /// reported). Stale KPI events left queued by an earlier degraded
+    /// interaction are drained and ignored — only the sample stamped
+    /// with this period's `t_ms` counts, so a dropped indication skews
+    /// one period, not every period after it.
     ///
     /// # Errors
     /// [`OrchestratorError::ControlPlane`] when the link is lost.
@@ -279,12 +287,16 @@ impl Orchestrator {
         match roundtrip {
             Ok(events) => {
                 for ev in events {
-                    if let RicEvent::Kpi { bs_power_w: w, .. } = ev {
-                        return Ok(w);
+                    if let RicEvent::Kpi { t_ms: stamp, bs_power_w: w } = ev {
+                        if stamp == t_ms {
+                            return Ok(w);
+                        }
+                        // A leftover sample from a previous period's
+                        // degraded interaction: drop it.
                     }
                 }
-                // Indication path configured but no sample: keep the
-                // local value.
+                // Indication path configured but no fresh sample: keep
+                // the local value.
                 Ok(bs_power_w)
             }
             Err(e) if e.is_recoverable() => {
@@ -382,7 +394,7 @@ mod tests {
     #[test]
     fn radio_policy_quantization_survives_the_chain() {
         // Whatever the agent asks, the enforced airtime is a multiple of
-        // 1/1000 (A1 carries milli-units).
+        // 1/1000 (the E2 ControlRequest carries milli-units).
         let mut o = orch(2);
         let trace = o.try_run(5).unwrap();
         for r in &trace.records {

@@ -331,9 +331,12 @@ mod tests {
             let (mut stream, _) = listener.accept().unwrap();
             stream.write_all(&u32::MAX.to_be_bytes()).unwrap();
             stream.flush().unwrap();
-            // Keep the socket open so the error is the length cap, not EOF.
-            let mut sink = [0u8; 1];
-            let _ = stream.read(&mut sink);
+            // Keep the socket open so the error is the length cap, not
+            // EOF — and consume the client's whole 5-byte frame, so the
+            // socket doesn't close with unread bytes (which would RST
+            // the client's in-flight send).
+            let mut sink = [0u8; 5];
+            let _ = stream.read_exact(&mut sink);
         });
         let mut client = FramedTcp::connect(&addr.to_string()).unwrap();
         let err = client.recv().unwrap_err();

@@ -140,7 +140,7 @@ fn orchestrator_policies_actually_transit_the_control_plane() {
         let milli = r.control.airtime * 1000.0;
         assert!(
             (milli - milli.round()).abs() < 1e-9,
-            "airtime {} did not pass A1 quantization",
+            "airtime {} did not pass E2 ControlRequest quantization",
             r.control.airtime
         );
         assert!(r.control.mcs_cap.index() <= 28);
