@@ -12,11 +12,39 @@ use edgebol_core::agent::Agent;
 use edgebol_core::orchestrator::{Orchestrator, OrchestratorError};
 use edgebol_core::problem::ProblemSpec;
 use edgebol_core::trace::Trace;
+use edgebol_oran::ChaosConfig;
 use edgebol_testbed::Environment;
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// The fault schedule requested via the `EDGEBOL_CHAOS` environment
+/// variable, if any — every figure regenerator routes its orchestrator
+/// runs through [`try_run_once`]/[`try_run_reps`], so setting the knob
+/// re-runs any figure under deterministic control-plane faults (see
+/// [`ChaosConfig::from_spec`] for the `key=value,...` format, e.g.
+/// `EDGEBOL_CHAOS="seed=7,rate=0.05,delay=0.02"`).
+///
+/// # Panics
+/// Panics (once, with the parse message) when the spec is malformed —
+/// a misspelled chaos knob must not silently run fault-free.
+pub fn chaos_from_env() -> Option<&'static ChaosConfig> {
+    static CONFIG: OnceLock<Option<ChaosConfig>> = OnceLock::new();
+    CONFIG
+        .get_or_init(|| {
+            let spec = std::env::var("EDGEBOL_CHAOS").ok()?;
+            if spec.trim().is_empty() {
+                return None;
+            }
+            let cfg = ChaosConfig::from_spec(&spec)
+                .unwrap_or_else(|e| panic!("invalid EDGEBOL_CHAOS spec: {e}"));
+            eprintln!("[edgebol-bench] chaos enabled: {spec}");
+            Some(cfg)
+        })
+        .as_ref()
+}
 
 /// A printable/serializable results table.
 #[derive(Debug, Clone)]
@@ -183,9 +211,39 @@ pub fn try_run_once(
     record_safe_set: bool,
     schedule: Vec<(usize, f64, f64)>,
 ) -> Result<Trace, OrchestratorError> {
-    let mut orch = Orchestrator::new(env, agent, spec)?.with_constraint_schedule(schedule);
+    let chaos = chaos_from_env().cloned().unwrap_or_else(ChaosConfig::disabled);
+    try_run_once_with_chaos(env, agent, spec, periods, record_safe_set, schedule, chaos)
+}
+
+/// [`try_run_once`] under an explicit fault schedule (the env-knob path
+/// and the chaos test suite both land here).
+///
+/// # Errors
+/// The first unrecoverable [`OrchestratorError`] (e.g. a scheduled link
+/// cut); recoverable faults are absorbed by degraded mode.
+pub fn try_run_once_with_chaos(
+    env: Box<dyn Environment>,
+    agent: Box<dyn Agent>,
+    spec: ProblemSpec,
+    periods: usize,
+    record_safe_set: bool,
+    schedule: Vec<(usize, f64, f64)>,
+    chaos: ChaosConfig,
+) -> Result<Trace, OrchestratorError> {
+    let mut orch =
+        Orchestrator::new_with_chaos(env, agent, spec, chaos)?.with_constraint_schedule(schedule);
     orch.record_safe_set = record_safe_set;
-    orch.try_run(periods)
+    let trace = orch.try_run(periods)?;
+    let ledger = orch.fault_ledger();
+    if !ledger.is_empty() {
+        eprintln!(
+            "[edgebol-bench] chaos summary: {} faults injected, {} degrading, {} degraded events",
+            ledger.len(),
+            ledger.degrading_count(),
+            orch.degraded_events()
+        );
+    }
+    Ok(trace)
 }
 
 /// Runs one agent/environment pair for `periods` periods.
@@ -223,7 +281,22 @@ pub fn try_run_reps(
 ) -> Vec<Result<Trace, OrchestratorError>> {
     parallel_map(reps, |rep| {
         let seed = rep as u64;
-        try_run_once(env_factory(seed), agent_factory(seed), spec, periods, false, Vec::new())
+        // Under the EDGEBOL_CHAOS knob every repetition gets its own
+        // deterministic fault stream, derived from the spec seed and the
+        // repetition seed — reruns stay bit-identical.
+        let chaos = match chaos_from_env() {
+            Some(cfg) => cfg.reseeded(seed),
+            None => ChaosConfig::disabled(),
+        };
+        try_run_once_with_chaos(
+            env_factory(seed),
+            agent_factory(seed),
+            spec,
+            periods,
+            false,
+            Vec::new(),
+            chaos,
+        )
     })
 }
 

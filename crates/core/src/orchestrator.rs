@@ -35,15 +35,26 @@
 //!   died ([`OranError::is_connection_lost`]) — abort the step and
 //!   propagate, because no future period could use the control plane
 //!   either.
+//!
+//! The failure model is exercised by the deterministic chaos layer
+//! (`edgebol_oran::chaos`): [`Orchestrator::new_with_chaos`] wraps the
+//! near-RT RIC's two endpoints in fault-injecting decorators — which
+//! covers all four lanes, since every A1/E2 message transits the xApp —
+//! and the per-stage counters ([`Orchestrator::degraded_by_stage`]) plus
+//! the shared [`FaultLedger`] let tests assert that every injected
+//! recoverable fault is accounted for, not silently absorbed.
 
 use crate::agent::Agent;
 use crate::problem::ProblemSpec;
 use crate::trace::{PeriodRecord, Trace};
 use edgebol_oran::{
-    duplex_pair, E2Node, KpiReport, NearRtRic, NonRtRic, OranError, RadioPolicy, RicEvent,
+    duplex_pair, ChaosConfig, ChaosEndpoint, ChaosPlan, E2Node, FaultLedger, KpiReport, LinkId,
+    NearRtRic, NonRtRic, OranError, RadioPolicy, RicEvent,
 };
 use edgebol_ran::Mcs;
 use edgebol_testbed::{ControlInput, Environment};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// A scheduled constraint change: at period `t`, switch to
@@ -96,6 +107,13 @@ impl OrchestratorError {
             OrchestratorError::ControlPlane { source, .. } => !source.is_connection_lost(),
         }
     }
+
+    /// Which hop of the rApp → A1 → xApp → E2 → node chain failed.
+    pub fn stage(&self) -> &'static str {
+        match self {
+            OrchestratorError::ControlPlane { stage, .. } => stage,
+        }
+    }
 }
 
 /// Tags an O-RAN layer result with the chain stage it belongs to.
@@ -109,16 +127,30 @@ pub struct Orchestrator {
     agent: Box<dyn Agent>,
     spec: ProblemSpec,
     nonrt: NonRtRic,
-    nearrt: NearRtRic,
+    /// The xApp's two endpoints are chaos-wrapped (transparently, when
+    /// the plan is disabled): every control-plane frame transits here, so
+    /// these two decorators cover all four fault lanes.
+    nearrt: NearRtRic<ChaosEndpoint, ChaosEndpoint>,
     node: E2Node,
+    /// The fault schedule in force (disarmed and empty for [`Orchestrator::new`]).
+    chaos: ChaosPlan,
     /// The radio policy most recently enforced at the E2 node (written by
     /// the node's apply hook, drained once per deployment).
     enforced: Arc<Mutex<Option<RadioPolicy>>>,
+    /// Every policy the node's apply hook ever ran, stamped with the
+    /// period current when it fired — ground truth for "the enforced
+    /// policy never silently diverges from the last acknowledged one".
+    applied_log: Arc<Mutex<Vec<(usize, RadioPolicy)>>>,
+    /// The running period, readable from inside the apply hook.
+    period: Arc<AtomicUsize>,
     /// The last policy known to be enforced — the degraded-mode fallback
     /// when the control plane drops a message.
     last_enforced: Option<RadioPolicy>,
     t: usize,
     degraded_events: usize,
+    /// Degraded events keyed by the chain stage that caused them (error
+    /// stages verbatim; silent losses under synthetic stage names).
+    degraded_by_stage: BTreeMap<&'static str, usize>,
     /// Record the safe-set size each period (full-grid GP sweep —
     /// noticeably slower; used by the Fig. 13 regenerator).
     pub record_safe_set: bool,
@@ -137,18 +169,44 @@ impl Orchestrator {
         agent: Box<dyn Agent>,
         spec: ProblemSpec,
     ) -> Result<Self, OrchestratorError> {
+        Self::new_with_chaos(env, agent, spec, ChaosConfig::disabled())
+    }
+
+    /// Like [`Orchestrator::new`], but runs the control plane under the
+    /// given deterministic fault schedule. The plan is armed only after
+    /// the KPI-subscription handshake completes, so bootstrap traffic is
+    /// never faulted and the first faultable frame belongs to period 0.
+    ///
+    /// # Errors
+    /// [`OrchestratorError::ControlPlane`] when the (pre-chaos)
+    /// subscription handshake fails.
+    pub fn new_with_chaos(
+        env: Box<dyn Environment>,
+        agent: Box<dyn Agent>,
+        spec: ProblemSpec,
+        chaos: ChaosConfig,
+    ) -> Result<Self, OrchestratorError> {
+        let plan = ChaosPlan::new(chaos);
         let (a1_up, a1_down) = duplex_pair();
         let (e2_up, e2_down) = duplex_pair();
         let enforced = Arc::new(Mutex::new(None));
+        let applied_log = Arc::new(Mutex::new(Vec::new()));
+        let period = Arc::new(AtomicUsize::new(0));
         let sink = enforced.clone();
+        let log = applied_log.clone();
+        let stamp = period.clone();
         let node = E2Node::new(
             e2_down,
             Box::new(move |p| {
                 *sink.lock().unwrap_or_else(PoisonError::into_inner) = Some(p);
+                log.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push((stamp.load(Ordering::SeqCst), p));
             }),
         );
         let nonrt = NonRtRic::new(a1_up);
-        let mut nearrt = NearRtRic::new(a1_down, e2_up);
+        let mut nearrt =
+            NearRtRic::new(plan.wrap(a1_down, LinkId::A1), plan.wrap(e2_up, LinkId::E2));
         at("KPI subscribe (xApp->E2)", nearrt.subscribe_kpis(1_000))?;
         let mut orch = Orchestrator {
             env,
@@ -157,15 +215,24 @@ impl Orchestrator {
             nonrt,
             nearrt,
             node,
+            chaos: plan,
             enforced,
+            applied_log,
+            period,
             last_enforced: None,
             t: 0,
             degraded_events: 0,
+            degraded_by_stage: BTreeMap::new(),
             record_safe_set: false,
             schedule: Vec::new(),
         };
-        // Complete the KPI subscription handshake.
+        // Complete the KPI subscription handshake...
         at("KPI subscription handshake (node)", orch.node.poll())?;
+        // ...and flush the SubscriptionResponse out of the xApp's E2
+        // queue while the plan is still disarmed, so no bootstrap frame
+        // lingers where the fault schedule could hit it.
+        at("KPI subscription flush (xApp)", orch.nearrt.poll())?;
+        orch.chaos.arm();
         Ok(orch)
     }
 
@@ -186,6 +253,39 @@ impl Orchestrator {
         self.degraded_events
     }
 
+    /// Degraded events keyed by the chain stage that caused them. Error
+    /// stages appear verbatim; losses the chain never reported as errors
+    /// are counted under `"radio deploy (silent loss)"` and
+    /// `"KPI path (silent loss)"`. The per-stage counts always sum to
+    /// [`Orchestrator::degraded_events`].
+    pub fn degraded_by_stage(&self) -> &BTreeMap<&'static str, usize> {
+        &self.degraded_by_stage
+    }
+
+    /// The ledger of faults the chaos schedule has injected so far
+    /// (empty for an orchestrator built with [`Orchestrator::new`]).
+    pub fn fault_ledger(&self) -> FaultLedger {
+        self.chaos.ledger()
+    }
+
+    /// Every policy the E2 node's apply hook actually ran, stamped with
+    /// the period in which it fired, in application order.
+    pub fn enforcement_log(&self) -> Vec<(usize, RadioPolicy)> {
+        self.applied_log.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// The policy the environment is currently running under — the last
+    /// acknowledged enforcement (or the locally quantized bootstrap
+    /// fallback before any enforcement succeeded).
+    pub fn last_enforced(&self) -> Option<RadioPolicy> {
+        self.last_enforced
+    }
+
+    fn note_degraded(&mut self, stage: &'static str) {
+        self.degraded_events += 1;
+        *self.degraded_by_stage.entry(stage).or_insert(0) += 1;
+    }
+
     /// Drives one policy document through rApp → A1 → xApp → E2 → node
     /// and back. Any hop may fail; the caller decides whether the error
     /// is absorbable.
@@ -194,11 +294,10 @@ impl Orchestrator {
         at("near-RT poll (A1->E2)", self.nearrt.poll())?;
         at("node poll (apply+ack)", self.node.poll())?;
         at("near-RT poll (ack->A1)", self.nearrt.poll())?;
-        let events = at("non-RT poll (feedback)", self.nonrt.poll())?;
-        debug_assert!(
-            events.iter().any(|e| matches!(e, RicEvent::PolicyFeedback { .. })),
-            "policy feedback expected"
-        );
+        // Feedback may legitimately be missing under fault injection (a
+        // dropped ack or feedback frame); enforcement ground truth comes
+        // from the node-side apply hook, not from this poll.
+        let _events = at("non-RT poll (feedback)", self.nonrt.poll())?;
         Ok(())
     }
 
@@ -223,13 +322,25 @@ impl Orchestrator {
     ) -> Result<ControlInput, OrchestratorError> {
         let policy =
             RadioPolicy { airtime: control.airtime, max_mcs: control.mcs_cap.index() as u8 };
+        let mut degraded_at: Option<&'static str> = None;
         match self.push_policy_through_chain(policy) {
             Ok(()) => {}
-            Err(e) if e.is_recoverable() => self.degraded_events += 1,
+            Err(e) if e.is_recoverable() => degraded_at = Some(e.stage()),
             Err(e) => return Err(e),
         }
         // Drain this deployment's enforcement feedback, if it arrived.
         let fresh = self.enforced.lock().unwrap_or_else(PoisonError::into_inner).take();
+        if fresh.is_none() && degraded_at.is_none() {
+            // The chain reported success yet nothing reached the node:
+            // the policy was silently lost (a dropped/held frame rather
+            // than a corrupted one). Still a degraded round trip.
+            degraded_at = Some("radio deploy (silent loss)");
+        }
+        if let Some(stage) = degraded_at {
+            // At most one degraded event per deployment round trip,
+            // whatever combination of error and loss produced it.
+            self.note_degraded(stage);
+        }
         let applied = match fresh.or(self.last_enforced) {
             Some(p) => p,
             None => {
@@ -238,8 +349,7 @@ impl Orchestrator {
                 // so the trace stays consistent with what the chain
                 // would have delivered. (A1 itself round-trips f64
                 // airtime bit-exactly; the quantization happens at the
-                // E2 hop.)
-                self.degraded_events += 1;
+                // E2 hop.) The degraded event is already counted above.
                 RadioPolicy {
                     airtime: (policy.airtime * 1000.0).round() / 1000.0,
                     max_mcs: policy.max_mcs,
@@ -295,12 +405,15 @@ impl Orchestrator {
                         // degraded interaction: drop it.
                     }
                 }
-                // Indication path configured but no fresh sample: keep
-                // the local value.
+                // The round trip reported success but this period's
+                // sample never surfaced (silently dropped or held
+                // indication / KPI frame): degraded fallback to the
+                // local reading.
+                self.note_degraded("KPI path (silent loss)");
                 Ok(bs_power_w)
             }
             Err(e) if e.is_recoverable() => {
-                self.degraded_events += 1;
+                self.note_degraded(e.stage());
                 Ok(bs_power_w)
             }
             Err(e) => Err(e),
@@ -314,6 +427,8 @@ impl Orchestrator {
     /// loses a link mid-round-trip; recoverable message-level failures
     /// are absorbed by degraded mode (see the module docs).
     pub fn try_step(&mut self) -> Result<PeriodRecord, OrchestratorError> {
+        // Stamp the period for the node's apply hook (enforcement log).
+        self.period.store(self.t, Ordering::SeqCst);
         // Scheduled constraint changes (operator reconfiguration).
         for &(at_t, d_max, rho_min) in &self.schedule {
             if at_t == self.t {
@@ -436,6 +551,56 @@ mod tests {
         );
         // And the service constraints hold most of the time after warmup.
         assert!(trace.satisfaction_rate(10) > 0.7, "{}", trace.satisfaction_rate(10));
+    }
+
+    #[test]
+    fn fault_free_runs_have_an_empty_ledger_and_consistent_log() {
+        let mut o = orch(6);
+        let trace = o.try_run(8).unwrap();
+        assert!(o.fault_ledger().is_empty());
+        assert_eq!(o.degraded_events(), 0);
+        assert!(o.degraded_by_stage().is_empty());
+        // One enforcement per period, and the trace reflects each one.
+        let log = o.enforcement_log();
+        assert_eq!(log.len(), trace.len());
+        for (r, (t, p)) in trace.records.iter().zip(&log) {
+            assert_eq!(r.t, *t);
+            assert_eq!(r.control.airtime, p.airtime);
+            assert_eq!(r.control.mcs_cap.index() as u8, p.max_mcs);
+        }
+        assert_eq!(o.last_enforced(), log.last().map(|&(_, p)| p));
+    }
+
+    #[test]
+    fn chaotic_runs_count_exactly_the_degrading_faults() {
+        use edgebol_oran::ChaosConfig;
+        let spec = ProblemSpec::new(1.0, 8.0, 0.5, 0.4);
+        let env = FlowTestbed::new(Calibration::fast(), Scenario::single_user(35.0), 7);
+        let agent = EdgeBolAgent::quick_for_tests(&spec, 7);
+        let mut o = Orchestrator::new_with_chaos(
+            Box::new(env),
+            Box::new(agent),
+            spec,
+            ChaosConfig::drop_corrupt(7, 0.2),
+        )
+        .expect("in-process setup");
+        let trace = o.try_run(25).expect("drop/corrupt faults are all recoverable");
+        assert_eq!(trace.len(), 25);
+        let ledger = o.fault_ledger();
+        assert!(!ledger.is_empty(), "0.2 rates over 25 periods must inject");
+        // Drop+corrupt schedules cannot mask one another, so accounting
+        // is exact: one degraded event per degrading fault.
+        assert_eq!(o.degraded_events(), ledger.degrading_count());
+        assert_eq!(o.degraded_by_stage().values().sum::<usize>(), o.degraded_events());
+        // The policy in force is always the last one the node applied
+        // (or the quantized bootstrap fallback before any application).
+        assert_eq!(
+            o.last_enforced().map(|p| p.max_mcs),
+            o.enforcement_log()
+                .last()
+                .map(|&(_, p)| p.max_mcs)
+                .or(o.last_enforced().map(|p| p.max_mcs))
+        );
     }
 
     #[test]

@@ -124,6 +124,21 @@ impl A1Message {
         out
     }
 
+    /// Peeks the `"msg"` tag of an A1 wire frame without parsing the
+    /// document. `None` when the payload is not UTF-8 or carries no
+    /// recognizable tag. Used by the chaos layer to classify frames it is
+    /// about to drop, delay or corrupt — cheap and non-consuming, unlike
+    /// [`A1Message::from_json`].
+    pub fn peek_kind(payload: &[u8]) -> Option<&'static str> {
+        let text = std::str::from_utf8(payload).ok()?;
+        for kind in ["PutPolicy", "DeletePolicy", "Feedback", "KpiSample"] {
+            if text.contains(&format!("\"msg\":\"{kind}\"")) {
+                return Some(kind);
+            }
+        }
+        None
+    }
+
     /// Parses from the JSON wire form.
     ///
     /// # Errors

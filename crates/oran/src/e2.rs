@@ -45,8 +45,9 @@ pub enum E2Message {
     ControlAck,
 }
 
-/// Message tags on the wire.
-mod tag {
+/// Message tags on the wire (crate-visible so the chaos layer can
+/// classify frames it is about to fault without consuming them).
+pub(crate) mod tag {
     pub const SUB_REQ: u8 = 1;
     pub const SUB_RESP: u8 = 2;
     pub const INDICATION: u8 = 3;
@@ -97,6 +98,14 @@ impl E2Codec {
         let mut b = BytesMut::new();
         Self::encode(msg, &mut b);
         b.freeze()
+    }
+
+    /// Peeks the message tag of a standalone frame (as produced by
+    /// [`E2Codec::encode_to_bytes`]) without consuming it. `None` when
+    /// the buffer is too short to carry a tag. Used by the chaos layer to
+    /// classify frames it is about to drop, delay or corrupt.
+    pub fn peek_tag(frame: &[u8]) -> Option<u8> {
+        frame.get(4).copied()
     }
 
     /// Attempts to decode one complete frame from `src`.

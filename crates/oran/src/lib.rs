@@ -29,14 +29,19 @@
 //! testable; the networked example wraps the same actors in threads.
 
 pub mod a1;
+pub mod chaos;
 pub mod e2;
 pub mod ric;
 pub mod transport;
 
 pub use a1::{A1Message, PolicyId, PolicyStatus, RadioPolicy, A1_POLICY_TYPE_RADIO};
+pub use chaos::{
+    corrupt_payload, ChaosConfig, ChaosEndpoint, ChaosFramedTcp, ChaosPlan, Direction, FaultKind,
+    FaultLedger, FaultRecord, LaneConfig, LinkId, MsgClass,
+};
 pub use e2::{E2Codec, E2Message, KpiReport};
 pub use ric::{E2Node, NearRtRic, NonRtRic, RicEvent};
-pub use transport::{duplex_pair, Endpoint, FramedTcp};
+pub use transport::{duplex_pair, Endpoint, FramedTcp, Link};
 
 /// Errors of the O-RAN layer, split by protocol layer so callers can
 /// route recovery: framing and codec errors mean a corrupt peer (drop
@@ -88,12 +93,63 @@ impl From<std::io::Error> for OranError {
 }
 
 impl OranError {
-    /// Whether the underlying link is unusable (vs a single corrupt or
-    /// out-of-order message on a healthy link). The orchestrator's
-    /// degraded mode keys off this: recoverable errors fall back to the
-    /// last enforced policy / local power reading, unrecoverable ones
-    /// surface to the caller.
+    /// Whether the link survives this error — `true` for a single corrupt
+    /// or out-of-order message on a healthy link, `false` when the link
+    /// itself is gone. The orchestrator's degraded mode keys off this:
+    /// recoverable errors fall back to the last enforced policy / local
+    /// power reading, unrecoverable ones surface to the caller.
+    ///
+    /// The match is deliberately exhaustive (no wildcard arm): adding an
+    /// `OranError` variant without deciding its recovery class must fail
+    /// to compile, and `tests::is_recoverable_classifies_every_variant`
+    /// pins one assertion per variant.
+    pub fn is_recoverable(&self) -> bool {
+        match self {
+            OranError::Framing(_) => true,
+            OranError::Codec(_) => true,
+            OranError::Handshake(_) => true,
+            OranError::ChannelClosed(_) => false,
+            OranError::Io(_) => false,
+        }
+    }
+
+    /// The complement of [`OranError::is_recoverable`]: the link itself
+    /// is unusable and no future traffic can cross it.
     pub fn is_connection_lost(&self) -> bool {
-        matches!(self, OranError::ChannelClosed(_) | OranError::Io(_))
+        !self.is_recoverable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::OranError;
+
+    /// One assertion per variant: classifying a new variant is forced by
+    /// the exhaustive match in `is_recoverable`; getting the class right
+    /// is pinned here.
+    #[test]
+    fn is_recoverable_classifies_every_variant() {
+        // Message-level damage on a healthy link: recoverable.
+        assert!(OranError::Framing("oversized frame".into()).is_recoverable());
+        assert!(OranError::Codec("unknown tag".into()).is_recoverable());
+        assert!(OranError::Handshake("unexpected message".into()).is_recoverable());
+        // The link itself is gone: unrecoverable.
+        assert!(!OranError::ChannelClosed("peer endpoint dropped").is_recoverable());
+        assert!(!OranError::Io(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe"))
+            .is_recoverable());
+    }
+
+    #[test]
+    fn connection_lost_is_the_exact_complement() {
+        let all = [
+            OranError::Framing(String::new()),
+            OranError::Codec(String::new()),
+            OranError::Handshake(String::new()),
+            OranError::ChannelClosed("x"),
+            OranError::Io(std::io::Error::other("io")),
+        ];
+        for e in &all {
+            assert_ne!(e.is_recoverable(), e.is_connection_lost(), "{e}");
+        }
     }
 }

@@ -8,7 +8,7 @@
 
 use crate::a1::{A1Message, PolicyId, PolicyStatus, RadioPolicy};
 use crate::e2::{E2Codec, E2Message, KpiReport, RAN_FUNC_KPI};
-use crate::transport::Endpoint;
+use crate::transport::{Endpoint, Link};
 use crate::OranError;
 use bytes::{Bytes, BytesMut};
 use std::collections::HashMap;
@@ -24,9 +24,13 @@ pub enum RicEvent {
 
 /// The non-RT RIC hosting EdgeBOL's two rApps: the policy service and the
 /// data collector.
+///
+/// Generic over the [`Link`] carrying A1 so a fault-injecting
+/// [`crate::chaos::ChaosEndpoint`] can stand in for the plain
+/// [`Endpoint`] (the default).
 #[derive(Debug)]
-pub struct NonRtRic {
-    a1: Endpoint,
+pub struct NonRtRic<L: Link = Endpoint> {
+    a1: L,
     next_policy_seq: u64,
     /// Deployed policies awaiting feedback.
     pending: HashMap<PolicyId, RadioPolicy>,
@@ -34,9 +38,9 @@ pub struct NonRtRic {
     enforced: HashMap<PolicyId, RadioPolicy>,
 }
 
-impl NonRtRic {
+impl<L: Link> NonRtRic<L> {
     /// Creates the RIC over its A1 endpoint toward the near-RT RIC.
-    pub fn new(a1: Endpoint) -> Self {
+    pub fn new(a1: L) -> Self {
         NonRtRic { a1, next_policy_seq: 0, pending: HashMap::new(), enforced: HashMap::new() }
     }
 
@@ -97,18 +101,22 @@ impl NonRtRic {
 }
 
 /// The near-RT RIC: terminates A1 from above and E2 toward the O-eNB.
+///
+/// Generic over both [`Link`]s; the chaos harness wraps exactly these two
+/// endpoints, which covers all four fault lanes (every control-plane
+/// message transits the near-RT RIC).
 #[derive(Debug)]
-pub struct NearRtRic {
-    a1: Endpoint,
-    e2: Endpoint,
+pub struct NearRtRic<A: Link = Endpoint, E: Link = Endpoint> {
+    a1: A,
+    e2: E,
     e2_rx_buf: BytesMut,
     /// Policy awaiting a `ControlAck` from the node.
     awaiting_ack: Option<PolicyId>,
 }
 
-impl NearRtRic {
+impl<A: Link, E: Link> NearRtRic<A, E> {
     /// Creates the xApp pair over its two endpoints.
-    pub fn new(a1: Endpoint, e2: Endpoint) -> Self {
+    pub fn new(a1: A, e2: E) -> Self {
         NearRtRic { a1, e2, e2_rx_buf: BytesMut::new(), awaiting_ack: None }
     }
 
@@ -190,8 +198,8 @@ impl NearRtRic {
 /// The O-eNB's E2 agent: applies control requests through a hook into the
 /// MAC (in this workspace, the testbed's scheduler) and emits KPI
 /// indications when asked.
-pub struct E2Node {
-    e2: Endpoint,
+pub struct E2Node<L: Link = Endpoint> {
+    e2: L,
     rx_buf: BytesMut,
     /// Applied radio policy hook.
     apply: Box<dyn FnMut(RadioPolicy) + Send>,
@@ -199,15 +207,15 @@ pub struct E2Node {
     subscribed: bool,
 }
 
-impl std::fmt::Debug for E2Node {
+impl<L: Link> std::fmt::Debug for E2Node<L> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("E2Node").field("subscribed", &self.subscribed).finish()
     }
 }
 
-impl E2Node {
+impl<L: Link> E2Node<L> {
     /// Creates the agent with a policy-application hook.
-    pub fn new(e2: Endpoint, apply: Box<dyn FnMut(RadioPolicy) + Send>) -> Self {
+    pub fn new(e2: L, apply: Box<dyn FnMut(RadioPolicy) + Send>) -> Self {
         E2Node { e2, rx_buf: BytesMut::new(), apply, subscribed: false }
     }
 

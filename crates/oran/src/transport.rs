@@ -12,6 +12,50 @@ use std::sync::{Arc, Mutex, PoisonError};
 /// corrupt or hostile peer, not a real control-plane message.
 pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
 
+/// A message-oriented duplex link, as the RIC actors see it.
+///
+/// [`Endpoint`] is the plain in-process implementation;
+/// [`crate::chaos::ChaosEndpoint`] is the fault-injecting decorator the
+/// chaos layer threads underneath the same actors. Methods take `&self`
+/// (implementations use interior mutability) so links can be shared the
+/// way `Endpoint` clones are.
+pub trait Link: Send {
+    /// Sends one message.
+    ///
+    /// # Errors
+    /// [`OranError::ChannelClosed`] when the link is down.
+    fn send(&self, msg: Bytes) -> Result<(), OranError>;
+
+    /// Receives the next pending message without blocking; `Ok(None)`
+    /// when the queue is empty but the link is alive.
+    ///
+    /// # Errors
+    /// [`OranError::ChannelClosed`] when the link is down and drained.
+    fn try_recv(&self) -> Result<Option<Bytes>, OranError>;
+
+    /// Drains all pending messages.
+    ///
+    /// Already-queued traffic always comes out: when the peer is gone but
+    /// messages were collected first, those messages are returned and the
+    /// close surfaces on the *next* call.
+    ///
+    /// # Errors
+    /// [`OranError::ChannelClosed`] when the link is down and nothing was
+    /// pending — a closed-then-drained link must report, not read as
+    /// silently empty.
+    fn drain(&self) -> Result<Vec<Bytes>, OranError> {
+        let mut out = Vec::new();
+        loop {
+            match self.try_recv() {
+                Ok(Some(m)) => out.push(m),
+                Ok(None) => return Ok(out),
+                Err(e) if out.is_empty() => return Err(e),
+                Err(_) => return Ok(out),
+            }
+        }
+    }
+}
+
 /// One direction of the in-process pipe: an unbounded FIFO plus liveness
 /// counters so each side can detect the other hanging up.
 #[derive(Debug, Default)]
@@ -92,13 +136,25 @@ impl Endpoint {
         Ok(None)
     }
 
-    /// Drains all pending messages.
-    pub fn drain(&self) -> Vec<Bytes> {
-        let mut out = Vec::new();
-        while let Ok(Some(m)) = self.try_recv() {
-            out.push(m);
-        }
-        out
+    /// Drains all pending messages — see [`Link::drain`] for the
+    /// closed-link contract (queued traffic first, then
+    /// [`OranError::ChannelClosed`] instead of a silent empty result).
+    ///
+    /// # Errors
+    /// [`OranError::ChannelClosed`] when the peer is gone and nothing was
+    /// pending.
+    pub fn drain(&self) -> Result<Vec<Bytes>, OranError> {
+        Link::drain(self)
+    }
+}
+
+impl Link for Endpoint {
+    fn send(&self, msg: Bytes) -> Result<(), OranError> {
+        Endpoint::send(self, msg)
+    }
+
+    fn try_recv(&self) -> Result<Option<Bytes>, OranError> {
+        Endpoint::try_recv(self)
     }
 }
 
@@ -246,9 +302,43 @@ mod tests {
         for i in 0..5u8 {
             a.send(Bytes::copy_from_slice(&[i])).unwrap();
         }
-        let msgs = b.drain();
+        let msgs = b.drain().unwrap();
         assert_eq!(msgs.len(), 5);
         assert!(b.try_recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn try_recv_after_close_drains_then_errors() {
+        // Queued traffic first, then ChannelClosed on every later call —
+        // never a silent Ok(None).
+        let (a, b) = duplex_pair();
+        a.send(Bytes::from_static(b"one")).unwrap();
+        a.send(Bytes::from_static(b"two")).unwrap();
+        drop(a);
+        assert_eq!(b.try_recv().unwrap().unwrap(), Bytes::from_static(b"one"));
+        assert_eq!(b.try_recv().unwrap().unwrap(), Bytes::from_static(b"two"));
+        for _ in 0..3 {
+            assert!(matches!(b.try_recv(), Err(OranError::ChannelClosed(_))));
+        }
+    }
+
+    #[test]
+    fn drain_after_close_returns_queued_then_errors() {
+        let (a, b) = duplex_pair();
+        a.send(Bytes::from_static(b"last")).unwrap();
+        drop(a);
+        // First drain yields the queued traffic; the close surfaces on
+        // the next drain instead of a silent empty vec.
+        assert_eq!(b.drain().unwrap(), vec![Bytes::from_static(b"last")]);
+        assert!(matches!(b.drain(), Err(OranError::ChannelClosed(_))));
+        assert!(matches!(b.drain(), Err(OranError::ChannelClosed(_))));
+    }
+
+    #[test]
+    fn drain_on_closed_empty_link_is_channel_closed_not_empty() {
+        let (a, b) = duplex_pair();
+        drop(a);
+        assert!(matches!(b.drain(), Err(OranError::ChannelClosed(_))));
     }
 
     #[test]
@@ -260,7 +350,7 @@ mod tests {
             }
         });
         t.join().unwrap();
-        assert_eq!(b.drain().len(), 100);
+        assert_eq!(b.drain().unwrap().len(), 100);
     }
 
     #[test]

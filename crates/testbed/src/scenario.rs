@@ -54,6 +54,14 @@ impl Scenario {
         Scenario { trace: SnrTrace::dynamic_fig13(), users: vec![UserCfg { offset_db: 0.0 }] }
     }
 
+    /// The degraded-mode (chaos) suite setting: a single nominal user at
+    /// the §6.2 good-SNR operating point. A fixed, well-conditioned
+    /// environment so every divergence between a faulted and a fault-free
+    /// episode is attributable to the control plane, not the radio.
+    pub fn chaos_suite() -> Self {
+        Self::single_user(35.0)
+    }
+
     /// Number of users.
     pub fn num_users(&self) -> usize {
         self.users.len()

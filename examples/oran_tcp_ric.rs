@@ -48,7 +48,7 @@ fn main() {
             wire.send(frame).expect("bridge in");
             node.poll().expect("node poll");
             // Flush everything the node produced back onto the socket.
-            for out in wire.drain() {
+            for out in wire.drain().expect("drain bridge") {
                 tcp.send(&out).expect("send E2 frame");
             }
             if round > 0 {
@@ -60,7 +60,7 @@ fn main() {
                     mean_mcs_centi: 2_650,
                 })
                 .expect("indicate");
-                for out in wire.drain() {
+                for out in wire.drain().expect("drain bridge") {
                     tcp.send(&out).expect("send KPI frame");
                 }
             }
@@ -96,7 +96,7 @@ fn main() {
         }
         nearrt.poll().expect("nearrt poll");
         // Ship pending E2 frames over the socket, read the response.
-        for frame in e2_wire.drain() {
+        for frame in e2_wire.drain().expect("drain e2 wire") {
             tcp.send(&frame).expect("send");
         }
         let reply = tcp.recv().expect("recv");

@@ -1,13 +1,38 @@
 //! Property-based tests of cross-crate invariants (proptest).
 
 use bytes::BytesMut;
+use edgebol_core::agent::EdgeBolAgent;
+use edgebol_core::orchestrator::Orchestrator;
+use edgebol_core::problem::ProblemSpec;
 use edgebol_gp::{GaussianProcess, Kernel};
 use edgebol_linalg::{Cholesky, Mat};
 use edgebol_media::{mean_average_precision, Dataset, DetectorModel};
-use edgebol_oran::{E2Codec, E2Message, KpiReport};
+use edgebol_oran::{
+    corrupt_payload, A1Message, ChaosConfig, E2Codec, E2Message, KpiReport, LinkId, OranError,
+    PolicyId, RadioPolicy, A1_POLICY_TYPE_RADIO,
+};
 use edgebol_ran::{bler, cqi_from_snr, max_mcs_for_cqi, tbs_bits, Mcs};
 use edgebol_testbed::{Calibration, ControlInput, FlowTestbed, Scenario};
 use proptest::prelude::*;
+
+/// A strategy over every well-formed E2 message.
+fn arb_e2_message(t_ms: u64, power: u64, duty: u16, mcs: u16, variant: u8) -> E2Message {
+    match variant % 5 {
+        0 => E2Message::SubscriptionRequest {
+            ran_function: (duty % 7) + 1,
+            report_period_ms: (t_ms % 10_000) as u32,
+        },
+        1 => E2Message::SubscriptionResponse { ran_function: (duty % 7) + 1 },
+        2 => E2Message::Indication(KpiReport {
+            t_ms,
+            bs_power_mw: power,
+            duty_milli: duty,
+            mean_mcs_centi: mcs,
+        }),
+        3 => E2Message::ControlRequest { airtime_milli: duty, max_mcs: (mcs % 29) as u8 },
+        _ => E2Message::ControlAck,
+    }
+}
 
 proptest! {
     /// Cholesky solve must invert `A x = b` for any random SPD matrix.
@@ -137,6 +162,119 @@ proptest! {
             "bs power {}", ss.bs_power_w);
         let occ: f64 = ss.occupancy.iter().sum();
         prop_assert!(occ <= control.airtime + 1e-9, "occupancy {} > airtime", occ);
+    }
+
+    /// Chaos corruption guarantee, E2 side: whatever frame it mangles and
+    /// however it chooses the mutation, decoding the result is an error —
+    /// never a panic, never a silent misparse — and the corruption stays
+    /// confined to one frame (the stream resynchronizes).
+    #[test]
+    fn corrupted_e2_frames_always_error_never_panic(
+        t_ms in 0u64..u64::MAX / 2,
+        power in 0u64..1_000_000,
+        duty in 0u16..=1000,
+        mcs in 0u16..=2800,
+        variant in 0u8..5,
+        flip in any::<bool>(),
+        pos in any::<u64>(),
+    ) {
+        let msg = arb_e2_message(t_ms, power, duty, mcs, variant);
+        let frame = E2Codec::encode_to_bytes(&msg);
+        let (mangled, kind, _) = corrupt_payload(LinkId::E2, &frame, flip, pos);
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&mangled);
+        E2Codec::encode(&E2Message::ControlAck, &mut buf);
+        let first = E2Codec::decode(&mut buf);
+        prop_assert!(
+            matches!(first, Err(OranError::Codec(_)) | Err(OranError::Framing(_))),
+            "{kind:?} must invalidate, got {first:?}"
+        );
+        // The follow-up frame decodes cleanly: no desynchronization.
+        prop_assert_eq!(E2Codec::decode(&mut buf).unwrap(), Some(E2Message::ControlAck));
+    }
+
+    /// Chaos corruption guarantee, A1 side: a mangled policy/KPI document
+    /// always fails UTF-8 validation or JSON parsing with a typed error.
+    #[test]
+    fn corrupted_a1_frames_always_error_never_panic(
+        airtime in 0.0f64..=1.0,
+        max_mcs in 0u8..=28,
+        t_ms in 0u64..1_000_000,
+        power in 0u64..100_000,
+        variant in 0u8..3,
+        flip in any::<bool>(),
+        pos in any::<u64>(),
+    ) {
+        let msg = match variant {
+            0 => A1Message::PutPolicy {
+                policy_id: PolicyId(format!("edgebol-{t_ms}")),
+                policy_type: A1_POLICY_TYPE_RADIO,
+                policy: RadioPolicy { airtime, max_mcs },
+            },
+            1 => A1Message::DeletePolicy { policy_id: PolicyId(format!("edgebol-{t_ms}")) },
+            _ => A1Message::KpiSample { t_ms, bs_power_mw: power },
+        };
+        let (mangled, kind, _) = corrupt_payload(LinkId::A1, msg.to_json().as_bytes(), flip, pos);
+        let parsed = std::str::from_utf8(&mangled)
+            .map_err(|e| OranError::Codec(e.to_string()))
+            .and_then(A1Message::from_json);
+        prop_assert!(parsed.is_err(), "{kind:?} must invalidate A1 JSON");
+    }
+
+    /// The E2 decoder never panics on fully arbitrary bytes: it yields
+    /// messages, waits for more input, or errors — and always terminates.
+    #[test]
+    fn e2_decoder_survives_arbitrary_bytes(
+        raw in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&raw);
+        // Each iteration either consumes bytes or stops, so this loop is
+        // finite for any input.
+        loop {
+            let before = buf.len();
+            match E2Codec::decode(&mut buf) {
+                Ok(Some(_)) => {
+                    prop_assert!(buf.len() < before, "no progress");
+                }
+                Ok(None) => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Degraded-mode safety net: a short learning episode under ANY
+    /// random fault schedule (all kinds, arbitrary rate and seed) never
+    /// panics, never surfaces a recoverable error, counts at most one
+    /// degraded event per injected degrading fault, and reproduces
+    /// bit-exactly under the same seeds.
+    #[test]
+    fn chaotic_episode_never_panics_and_is_deterministic(
+        chaos_seed in 0u64..10_000,
+        rate in 0.0f64..0.4,
+    ) {
+        let run = || {
+            let spec = ProblemSpec::new(1.0, 8.0, 0.5, 0.4);
+            let env = FlowTestbed::new(Calibration::fast(), Scenario::chaos_suite(), 11);
+            let agent = EdgeBolAgent::quick_for_tests(&spec, 11);
+            let mut o = Orchestrator::new_with_chaos(
+                Box::new(env),
+                Box::new(agent),
+                spec,
+                ChaosConfig::all_kinds(chaos_seed, rate),
+            )
+            .expect("setup is pre-arm");
+            let trace = o.try_run(6).expect("recoverable-only schedule must not abort");
+            (trace, o.degraded_events(), o.fault_ledger().records())
+        };
+        let (t1, d1, l1) = run();
+        prop_assert_eq!(t1.len(), 6);
+        prop_assert!(d1 <= l1.iter().filter(|r| r.is_degrading()).count(),
+            "degraded events exceed degrading faults");
+        let (t2, d2, l2) = run();
+        prop_assert_eq!(t1, t2);
+        prop_assert_eq!(d1, d2);
+        prop_assert_eq!(l1, l2);
     }
 
     /// Higher resolution never reduces the steady-state transmission-bound
