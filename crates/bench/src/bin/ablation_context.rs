@@ -107,4 +107,5 @@ fn main() {
         "expected: comparable converged cost (validating §4.4's aggregation), with the\n\
          per-user variant no better despite the larger context"
     );
+    edgebol_bench::metrics_report();
 }

@@ -91,4 +91,5 @@ fn main() {
     table.print();
     let path = table.write_csv("ablation_kernel").expect("write csv");
     println!("wrote {}", path.display());
+    edgebol_bench::metrics_report();
 }

@@ -64,4 +64,5 @@ fn main() {
     table.print();
     let path = table.write_csv("ablation_window").expect("write csv");
     println!("wrote {}", path.display());
+    edgebol_bench::metrics_report();
 }

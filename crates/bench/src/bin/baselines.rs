@@ -77,4 +77,5 @@ fn main() {
     table.print();
     let path = table.write_csv("baselines").expect("write csv");
     println!("wrote {}", path.display());
+    edgebol_bench::metrics_report();
 }

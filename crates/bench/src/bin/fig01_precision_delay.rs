@@ -33,4 +33,5 @@ fn main() {
         (hi.delay_s - lo.delay_s) / hi.delay_s * 100.0
     );
     println!("precision reduction: {:.0}%  (paper: 10–50%)", (hi.map - lo.map) / hi.map * 100.0);
+    edgebol_bench::metrics_report();
 }

@@ -39,4 +39,5 @@ fn main() {
         "server power increase for 75% resolution cut: {:.0}%  (paper: ~56% for similar shifts)",
         (lo.server_power_w - free.server_power_w) / free.server_power_w * 100.0
     );
+    edgebol_bench::metrics_report();
 }

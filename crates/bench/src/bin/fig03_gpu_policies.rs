@@ -46,4 +46,5 @@ fn main() {
         "per-image GPU delay, 25% vs 100% res: {:.3}s vs {:.3}s  (paper: low-res higher)",
         lowres.gpu_delay_s, fast.gpu_delay_s
     );
+    edgebol_bench::metrics_report();
 }

@@ -37,4 +37,5 @@ fn main() {
     let path = table.write_csv("fig04_precision_power").expect("write csv");
     println!("wrote {}", path.display());
     println!("note: higher mAP should associate with LOWER server power (paper Fig. 4)");
+    edgebol_bench::metrics_report();
 }

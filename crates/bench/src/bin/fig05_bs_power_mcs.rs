@@ -37,4 +37,5 @@ fn main() {
          (paper: higher MCS -> lower power at 1x load)",
         low_mcs.bs_power_w, high_mcs.bs_power_w
     );
+    edgebol_bench::metrics_report();
 }

@@ -39,4 +39,5 @@ fn main() {
          (paper: higher MCS -> HIGHER power under saturation)",
         low_mcs.bs_power_w, high_mcs.bs_power_w
     );
+    edgebol_bench::metrics_report();
 }

@@ -100,4 +100,5 @@ fn main() {
     summary.write_csv("fig09_convergence_summary").expect("write csv");
     let path = series.write_csv("fig09_convergence_series").expect("write csv");
     println!("wrote {}", path.display());
+    edgebol_bench::metrics_report();
 }

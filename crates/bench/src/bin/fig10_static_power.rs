@@ -108,4 +108,5 @@ fn main() {
     table.print();
     let path = table.write_csv("fig10_static_power").expect("write csv");
     println!("wrote {}", path.display());
+    edgebol_bench::metrics_report();
 }

@@ -61,4 +61,5 @@ fn main() {
     table.print();
     let path = table.write_csv("fig11_static_policies").expect("write csv");
     println!("wrote {}", path.display());
+    edgebol_bench::metrics_report();
 }

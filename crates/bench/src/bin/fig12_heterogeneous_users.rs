@@ -88,4 +88,5 @@ fn main() {
     table.print();
     let path = table.write_csv("fig12_heterogeneous_users").expect("write csv");
     println!("wrote {}", path.display());
+    edgebol_bench::metrics_report();
 }

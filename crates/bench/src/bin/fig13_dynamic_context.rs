@@ -58,4 +58,5 @@ fn main() {
          EdgeBOL falls back to S0 there, as §5 'Practical Issues' describes)",
         trace.satisfaction_rate(25)
     );
+    edgebol_bench::metrics_report();
 }

@@ -111,4 +111,5 @@ fn main() {
     }
     let path = series.write_csv("fig14_vs_ddpg_series").expect("write csv");
     println!("wrote {}", path.display());
+    edgebol_bench::metrics_report();
 }

@@ -168,4 +168,5 @@ fn main() {
          and find a finer (cheaper) configuration, paying with slower co-adaptation\n\
          through the shared GPU and airtime budget."
     );
+    edgebol_bench::metrics_report();
 }

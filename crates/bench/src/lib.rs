@@ -12,6 +12,7 @@ use edgebol_core::agent::Agent;
 use edgebol_core::orchestrator::{Orchestrator, OrchestratorError};
 use edgebol_core::problem::ProblemSpec;
 use edgebol_core::trace::Trace;
+use edgebol_metrics::Registry;
 use edgebol_oran::ChaosConfig;
 use edgebol_testbed::Environment;
 use std::fmt::Write as _;
@@ -19,6 +20,83 @@ use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
+
+/// What the `EDGEBOL_METRICS` knob asked for — see [`metrics_mode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricsMode {
+    /// Metrics disabled (the default): the shared registry is a no-op.
+    Off,
+    /// Record, and print the end-of-run summary table to **stderr**
+    /// (stdout and the CSV artifacts stay byte-identical to an
+    /// uninstrumented run).
+    Summary,
+    /// [`MetricsMode::Summary`], plus write `metrics.prom` /
+    /// `metrics.json` / `metrics.csv` into the given directory.
+    Dump(PathBuf),
+}
+
+/// The observability mode requested via the `EDGEBOL_METRICS`
+/// environment variable: empty/`off`/`0` → [`MetricsMode::Off`],
+/// `summary`/`on`/`1` → [`MetricsMode::Summary`], `dump=<dir>` →
+/// [`MetricsMode::Dump`].
+///
+/// # Panics
+/// Panics (once) on a malformed value — a misspelled knob must not
+/// silently run unobserved, mirroring [`chaos_from_env`].
+pub fn metrics_mode() -> &'static MetricsMode {
+    static MODE: OnceLock<MetricsMode> = OnceLock::new();
+    MODE.get_or_init(|| {
+        let v = std::env::var("EDGEBOL_METRICS").unwrap_or_default();
+        match v.trim() {
+            "" | "off" | "0" => MetricsMode::Off,
+            "summary" | "on" | "1" => MetricsMode::Summary,
+            other => match other.strip_prefix("dump=") {
+                Some(dir) if !dir.is_empty() => MetricsMode::Dump(PathBuf::from(dir)),
+                _ => panic!(
+                    "invalid EDGEBOL_METRICS value {other:?}: expected off, summary or dump=<dir>"
+                ),
+            },
+        }
+    })
+}
+
+/// The process-wide metrics registry every harness run records into —
+/// enabled iff [`metrics_mode`] is not [`MetricsMode::Off`]. The figure
+/// binaries pass it to the orchestrator (so core/oran metrics land here
+/// too) and render it via [`metrics_report`] before exiting.
+pub fn metrics() -> &'static Registry {
+    static REG: OnceLock<Registry> = OnceLock::new();
+    REG.get_or_init(|| match metrics_mode() {
+        MetricsMode::Off => Registry::disabled(),
+        _ => Registry::new(),
+    })
+}
+
+/// Renders the end-of-run metrics according to [`metrics_mode`]: nothing
+/// when off; the summary table to stderr for `summary`; the table plus
+/// `metrics.prom`/`metrics.json`/`metrics.csv` files for `dump=<dir>`.
+/// Every figure binary calls this as its last statement.
+pub fn metrics_report() {
+    let mode = metrics_mode();
+    if *mode == MetricsMode::Off {
+        return;
+    }
+    let snap = metrics().snapshot();
+    eprint!("{}", snap.render_table("edgebol metrics"));
+    if let MetricsMode::Dump(dir) = mode {
+        let write_all = || -> std::io::Result<()> {
+            fs::create_dir_all(dir)?;
+            fs::write(dir.join("metrics.prom"), snap.render_prometheus())?;
+            fs::write(dir.join("metrics.json"), snap.to_json())?;
+            fs::write(dir.join("metrics.csv"), snap.to_csv())?;
+            Ok(())
+        };
+        match write_all() {
+            Ok(()) => eprintln!("[edgebol-bench] metrics dumped to {}", dir.display()),
+            Err(e) => eprintln!("[edgebol-bench] metrics dump failed: {e}"),
+        }
+    }
+}
 
 /// The fault schedule requested via the `EDGEBOL_CHAOS` environment
 /// variable, if any — every figure regenerator routes its orchestrator
@@ -166,39 +244,101 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = worker_threads().min(n);
-    if threads <= 1 {
-        return (0..n).map(job).collect();
+    parallel_map_threads(worker_threads(), n, job)
+}
+
+/// Queue-depth bucket bounds: the harness fans out 8–100 repetitions,
+/// so powers of two up to 128 resolve the whole drain curve.
+const QUEUE_DEPTH_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+
+/// Per-repetition wall-time bucket bounds (seconds): a reduced-size CI
+/// repetition takes ~0.1–3 s, a full figure repetition up to ~60 s.
+const REP_WALL_BOUNDS: &[f64] = &[0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0];
+
+/// [`parallel_map`] with an explicit thread count (tests that compare
+/// thread counts use this to avoid racing on `EDGEBOL_THREADS`).
+///
+/// When metrics are enabled (see [`metrics`]) the runner records
+/// `edgebol_bench_worker_threads`, the work-queue depth observed at each
+/// grab (`edgebol_bench_queue_depth` — remaining items including the one
+/// taken, a deterministic multiset for a given `n` regardless of thread
+/// count), per-job wall time (`edgebol_bench_rep_wall_seconds`) and the
+/// fraction of thread-seconds spent inside jobs
+/// (`edgebol_bench_runner_utilization`).
+pub fn parallel_map_threads<T, F>(threads: usize, n: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
     }
-    let next = AtomicUsize::new(0);
-    let job = &job;
-    let next = &next;
-    let mut tagged: Vec<(usize, T)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
+    let reg = metrics();
+    let depth_h = reg.histogram("edgebol_bench_queue_depth", QUEUE_DEPTH_BOUNDS);
+    let wall_h = reg.histogram("edgebol_bench_rep_wall_seconds", REP_WALL_BOUNDS);
+    let threads = threads.max(1).min(n);
+    reg.gauge("edgebol_bench_worker_threads").set(threads as f64);
+    let total = reg.stopwatch();
+    // One timed execution of `job(i)`, with the queue depth at grab time.
+    let timed = |i: usize, busy: &mut f64| -> T {
+        depth_h.observe((n - i) as f64);
+        let sw = reg.stopwatch();
+        let out = job(i);
+        if let Some(s) = sw.elapsed_seconds() {
+            wall_h.observe(s);
+            *busy += s;
+        }
+        out
+    };
+    let (out, busy_total) = if threads <= 1 {
+        let mut busy = 0.0;
+        let out: Vec<T> = (0..n).map(|i| timed(i, &mut busy)).collect();
+        (out, busy)
+    } else {
+        let next = AtomicUsize::new(0);
+        let timed = &timed;
+        let next = &next;
+        let mut tagged: Vec<(usize, T)> = Vec::new();
+        let mut busy_total = 0.0;
+        let per_thread: Vec<(Vec<(usize, T)>, f64)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(move || {
+                        let mut local = Vec::new();
+                        let mut busy = 0.0;
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, timed(i, &mut busy)));
                         }
-                        local.push((i, job(i)));
-                    }
-                    local
+                        (local, busy)
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| match h.join() {
-                Ok(v) => v,
-                Err(p) => std::panic::resume_unwind(p),
-            })
-            .collect()
-    });
-    tagged.sort_by_key(|(i, _)| *i);
-    tagged.into_iter().map(|(_, t)| t).collect()
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(p) => std::panic::resume_unwind(p),
+                })
+                .collect()
+        });
+        for (local, busy) in per_thread {
+            tagged.extend(local);
+            busy_total += busy;
+        }
+        tagged.sort_by_key(|(i, _)| *i);
+        (tagged.into_iter().map(|(_, t)| t).collect(), busy_total)
+    };
+    if let Some(wall) = total.elapsed_seconds() {
+        if wall > 0.0 {
+            reg.gauge("edgebol_bench_runner_utilization")
+                .set((busy_total / (threads as f64 * wall)).min(1.0));
+        }
+    }
+    out
 }
 
 /// Runs one agent/environment pair for `periods` periods, surfacing
@@ -230,8 +370,8 @@ pub fn try_run_once_with_chaos(
     schedule: Vec<(usize, f64, f64)>,
     chaos: ChaosConfig,
 ) -> Result<Trace, OrchestratorError> {
-    let mut orch =
-        Orchestrator::new_with_chaos(env, agent, spec, chaos)?.with_constraint_schedule(schedule);
+    let mut orch = Orchestrator::new_instrumented(env, agent, spec, chaos, metrics().clone())?
+        .with_constraint_schedule(schedule);
     orch.record_safe_set = record_safe_set;
     let trace = orch.try_run(periods)?;
     let ledger = orch.fault_ledger();

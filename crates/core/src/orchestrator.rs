@@ -47,6 +47,7 @@
 use crate::agent::Agent;
 use crate::problem::ProblemSpec;
 use crate::trace::{PeriodRecord, Trace};
+use edgebol_metrics::{Counter, Histogram, Registry};
 use edgebol_oran::{
     duplex_pair, ChaosConfig, ChaosEndpoint, ChaosPlan, E2Node, FaultLedger, KpiReport, LinkId,
     NearRtRic, NonRtRic, OranError, RadioPolicy, RicEvent,
@@ -121,6 +122,38 @@ fn at<T>(stage: &'static str, r: Result<T, OranError>) -> Result<T, Orchestrator
     r.map_err(|source| OrchestratorError::ControlPlane { stage, source })
 }
 
+/// Step-latency bucket bounds (seconds). Orchestration periods on the
+/// simulated testbed run in fractions of a millisecond to tens of
+/// milliseconds depending on agent configuration (full GP sweeps are
+/// ~1000× a warm-up step), so the grid is log-spaced from 0.5 ms to 2 s
+/// — wide enough that both regimes land in interior buckets.
+const STEP_LATENCY_BOUNDS: &[f64] =
+    &[0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0];
+
+/// Pre-resolved metric handles for the orchestration loop. Handles are
+/// resolved once at construction so the per-period hot path never takes
+/// the registry's registration lock; per-stage counters (degraded,
+/// errors) are resolved lazily because stages are data-dependent and
+/// only hit on the cold (failure) path.
+struct OrchestratorMetrics {
+    registry: Registry,
+    periods: Counter,
+    step_seconds: Histogram,
+    kpi_stale: Counter,
+}
+
+impl OrchestratorMetrics {
+    fn new(registry: Registry) -> Self {
+        OrchestratorMetrics {
+            periods: registry.counter("edgebol_core_periods_total"),
+            step_seconds: registry
+                .histogram("edgebol_core_step_latency_seconds", STEP_LATENCY_BOUNDS),
+            kpi_stale: registry.counter("edgebol_core_kpi_stale_samples_total"),
+            registry,
+        }
+    }
+}
+
 /// The orchestrator.
 pub struct Orchestrator {
     env: Box<dyn Environment>,
@@ -155,6 +188,7 @@ pub struct Orchestrator {
     /// noticeably slower; used by the Fig. 13 regenerator).
     pub record_safe_set: bool,
     schedule: Vec<ConstraintEvent>,
+    metrics: OrchestratorMetrics,
 }
 
 impl Orchestrator {
@@ -186,7 +220,29 @@ impl Orchestrator {
         spec: ProblemSpec,
         chaos: ChaosConfig,
     ) -> Result<Self, OrchestratorError> {
-        let plan = ChaosPlan::new(chaos);
+        Self::new_instrumented(env, agent, spec, chaos, Registry::disabled())
+    }
+
+    /// Like [`Orchestrator::new_with_chaos`], but records observability
+    /// metrics into `metrics`: per-period step latency
+    /// (`edgebol_core_step_latency_seconds`), per-stage degraded and
+    /// control-plane-error counters (mirroring
+    /// [`Orchestrator::degraded_by_stage`]), stale KPI samples, and —
+    /// through the chaos plan — per-link frame/byte traffic plus
+    /// per-kind fault counts. Passing [`Registry::disabled`] records
+    /// nothing and is equivalent to [`Orchestrator::new_with_chaos`].
+    ///
+    /// # Errors
+    /// [`OrchestratorError::ControlPlane`] when the (pre-chaos)
+    /// subscription handshake fails.
+    pub fn new_instrumented(
+        env: Box<dyn Environment>,
+        agent: Box<dyn Agent>,
+        spec: ProblemSpec,
+        chaos: ChaosConfig,
+        metrics: Registry,
+    ) -> Result<Self, OrchestratorError> {
+        let plan = ChaosPlan::new_instrumented(chaos, metrics.clone());
         let (a1_up, a1_down) = duplex_pair();
         let (e2_up, e2_down) = duplex_pair();
         let enforced = Arc::new(Mutex::new(None));
@@ -225,6 +281,7 @@ impl Orchestrator {
             degraded_by_stage: BTreeMap::new(),
             record_safe_set: false,
             schedule: Vec::new(),
+            metrics: OrchestratorMetrics::new(metrics),
         };
         // Complete the KPI subscription handshake...
         at("KPI subscription handshake (node)", orch.node.poll())?;
@@ -281,9 +338,19 @@ impl Orchestrator {
         self.last_enforced
     }
 
+    /// The registry this orchestrator records into (disabled unless
+    /// built with [`Orchestrator::new_instrumented`]).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics.registry
+    }
+
     fn note_degraded(&mut self, stage: &'static str) {
         self.degraded_events += 1;
         *self.degraded_by_stage.entry(stage).or_insert(0) += 1;
+        self.metrics
+            .registry
+            .counter_with("edgebol_core_degraded_total", &[("stage", stage)])
+            .inc();
     }
 
     /// Drives one policy document through rApp → A1 → xApp → E2 → node
@@ -403,6 +470,7 @@ impl Orchestrator {
                         }
                         // A leftover sample from a previous period's
                         // degraded interaction: drop it.
+                        self.metrics.kpi_stale.inc();
                     }
                 }
                 // The round trip reported success but this period's
@@ -427,6 +495,25 @@ impl Orchestrator {
     /// loses a link mid-round-trip; recoverable message-level failures
     /// are absorbed by degraded mode (see the module docs).
     pub fn try_step(&mut self) -> Result<PeriodRecord, OrchestratorError> {
+        let sw = self.metrics.registry.stopwatch();
+        let r = self.step_inner();
+        match &r {
+            Ok(_) => self.metrics.periods.inc(),
+            Err(e) => {
+                self.metrics
+                    .registry
+                    .counter_with(
+                        "edgebol_core_control_plane_errors_total",
+                        &[("stage", e.stage())],
+                    )
+                    .inc();
+            }
+        }
+        sw.observe(&self.metrics.step_seconds);
+        r
+    }
+
+    fn step_inner(&mut self) -> Result<PeriodRecord, OrchestratorError> {
         // Stamp the period for the node's apply hook (enforcement log).
         self.period.store(self.t, Ordering::SeqCst);
         // Scheduled constraint changes (operator reconfiguration).

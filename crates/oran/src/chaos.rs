@@ -55,6 +55,7 @@ use crate::e2::{tag, E2Codec};
 use crate::transport::{Endpoint, FramedTcp, Link};
 use crate::OranError;
 use bytes::Bytes;
+use edgebol_metrics::{Counter, Registry};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::VecDeque;
@@ -70,12 +71,19 @@ pub enum LinkId {
     E2,
 }
 
+impl LinkId {
+    /// Stable label used as the `link` metric label value.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LinkId::A1 => "A1",
+            LinkId::E2 => "E2",
+        }
+    }
+}
+
 impl std::fmt::Display for LinkId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            LinkId::A1 => write!(f, "A1"),
-            LinkId::E2 => write!(f, "E2"),
-        }
+        f.write_str(self.label())
     }
 }
 
@@ -109,6 +117,21 @@ pub enum FaultKind {
     /// The link dies: this and every later operation returns
     /// [`OranError::ChannelClosed`].
     LinkCut,
+}
+
+impl FaultKind {
+    /// Stable snake_case label used as the `kind` metric label value.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::CorruptBitFlip => "corrupt_bit_flip",
+            FaultKind::CorruptTruncate => "corrupt_truncate",
+            FaultKind::Delay => "delay",
+            FaultKind::Reorder => "reorder",
+            FaultKind::LinkCut => "link_cut",
+        }
+    }
 }
 
 /// Protocol-level class of a faulted frame, recorded so tests (and the
@@ -418,12 +441,25 @@ impl FaultRecord {
 
 /// Append-only record of every injected fault, shared by all transports
 /// wrapped by one [`ChaosPlan`]. Cloning shares the underlying ledger.
+///
+/// An *instrumented* ledger (see [`FaultLedger::instrumented`]) also
+/// increments `edgebol_oran_faults_total{kind,link}` live on every push
+/// — deliberately a second code path next to the record vector, so the
+/// metrics test's counter ≡ ledger invariant is a genuine cross-check
+/// rather than a tautology.
 #[derive(Debug, Clone, Default)]
 pub struct FaultLedger {
     inner: Arc<Mutex<Vec<FaultRecord>>>,
+    metrics: Registry,
 }
 
 impl FaultLedger {
+    /// A ledger that mirrors every push into `metrics` as
+    /// `edgebol_oran_faults_total{kind,link}` counters.
+    pub fn instrumented(metrics: Registry) -> Self {
+        FaultLedger { inner: Arc::default(), metrics }
+    }
+
     fn push(
         &self,
         link: LinkId,
@@ -433,6 +469,12 @@ impl FaultLedger {
         op: u64,
         detail: String,
     ) {
+        self.metrics
+            .counter_with(
+                "edgebol_oran_faults_total",
+                &[("kind", kind.label()), ("link", link.label())],
+            )
+            .inc();
         let mut v = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let seq = v.len() as u64;
         v.push(FaultRecord { seq, link, direction, kind, msg, op, detail });
@@ -627,12 +669,27 @@ pub struct ChaosPlan {
     cfg: ChaosConfig,
     ledger: FaultLedger,
     armed: Arc<AtomicBool>,
+    metrics: Registry,
 }
 
 impl ChaosPlan {
-    /// Builds a plan (disarmed) from a config.
+    /// Builds a plan (disarmed) from a config, without metrics.
     pub fn new(cfg: ChaosConfig) -> Self {
-        ChaosPlan { cfg, ledger: FaultLedger::default(), armed: Arc::new(AtomicBool::new(false)) }
+        Self::new_instrumented(cfg, Registry::disabled())
+    }
+
+    /// Builds a plan (disarmed) whose wrapped transports record traffic
+    /// (`edgebol_oran_frames_total` / `_bytes_total` /
+    /// `_redelivered_frames_total`) and whose ledger mirrors faults
+    /// (`edgebol_oran_faults_total{kind,link}`) into `metrics`. Passing
+    /// [`Registry::disabled`] is equivalent to [`ChaosPlan::new`].
+    pub fn new_instrumented(cfg: ChaosConfig, metrics: Registry) -> Self {
+        ChaosPlan {
+            cfg,
+            ledger: FaultLedger::instrumented(metrics.clone()),
+            armed: Arc::new(AtomicBool::new(false)),
+            metrics,
+        }
     }
 
     /// The config this plan runs.
@@ -668,6 +725,7 @@ impl ChaosPlan {
             Some((l, at)) if l == link => Some(at),
             _ => None,
         };
+        let l = link.label();
         ChaosEndpoint {
             inner,
             link,
@@ -686,6 +744,23 @@ impl ChaosPlan {
                 Direction::Rx,
                 lane_seed(self.cfg.seed, link, Direction::Rx, 0),
             )),
+            // Handles resolved once here: per-frame recording must not
+            // take the registry's registration lock.
+            m_tx_frames: self
+                .metrics
+                .counter_with("edgebol_oran_frames_total", &[("dir", "tx"), ("link", l)]),
+            m_rx_frames: self
+                .metrics
+                .counter_with("edgebol_oran_frames_total", &[("dir", "rx"), ("link", l)]),
+            m_tx_bytes: self
+                .metrics
+                .counter_with("edgebol_oran_bytes_total", &[("dir", "tx"), ("link", l)]),
+            m_rx_bytes: self
+                .metrics
+                .counter_with("edgebol_oran_bytes_total", &[("dir", "rx"), ("link", l)]),
+            m_redelivered: self
+                .metrics
+                .counter_with("edgebol_oran_redelivered_frames_total", &[("link", l)]),
         }
     }
 
@@ -696,6 +771,7 @@ impl ChaosPlan {
             LinkId::A1 => self.cfg.a1_tx,
             LinkId::E2 => self.cfg.e2_tx,
         };
+        let l = link.label();
         ChaosFramedTcp {
             inner,
             link,
@@ -706,6 +782,12 @@ impl ChaosPlan {
                 Direction::Tx,
                 lane_seed(self.cfg.seed, link, Direction::Tx, 1),
             ),
+            m_tx_frames: self
+                .metrics
+                .counter_with("edgebol_oran_frames_total", &[("dir", "tx"), ("link", l)]),
+            m_tx_bytes: self
+                .metrics
+                .counter_with("edgebol_oran_bytes_total", &[("dir", "tx"), ("link", l)]),
         }
     }
 }
@@ -724,6 +806,16 @@ pub struct ChaosEndpoint {
     cut_latched: AtomicBool,
     tx: Mutex<Lane>,
     rx: Mutex<Lane>,
+    /// Traffic counters, pre-resolved at wrap time (no-ops when the plan
+    /// was built without a registry). Tx counts frames *submitted* (so a
+    /// dropped frame still counts as offered traffic), rx counts frames
+    /// *delivered* to the caller.
+    m_tx_frames: Counter,
+    m_rx_frames: Counter,
+    m_tx_bytes: Counter,
+    m_rx_bytes: Counter,
+    /// Held frames (delay/duplicate/reorder artifacts) handed back out.
+    m_redelivered: Counter,
 }
 
 impl ChaosEndpoint {
@@ -757,6 +849,8 @@ impl ChaosEndpoint {
     /// [`OranError::ChannelClosed`] when the peer is gone or the chaos
     /// schedule has cut the link.
     pub fn send(&self, msg: Bytes) -> Result<(), OranError> {
+        self.m_tx_frames.inc();
+        self.m_tx_bytes.add(msg.len() as u64);
         if !self.armed.load(Ordering::SeqCst) {
             return self.inner.send(msg);
         }
@@ -802,6 +896,15 @@ impl ChaosEndpoint {
     /// plus held frames are drained) or the chaos schedule has cut the
     /// link.
     pub fn try_recv(&self) -> Result<Option<Bytes>, OranError> {
+        let got = self.try_recv_impl()?;
+        if let Some(f) = &got {
+            self.m_rx_frames.inc();
+            self.m_rx_bytes.add(f.len() as u64);
+        }
+        Ok(got)
+    }
+
+    fn try_recv_impl(&self) -> Result<Option<Bytes>, OranError> {
         if !self.armed.load(Ordering::SeqCst) {
             return self.inner.try_recv();
         }
@@ -810,6 +913,7 @@ impl ChaosEndpoint {
         lane.op += 1;
         // Held frames due for re-delivery come first, unfaulted.
         if let Some(f) = lane.pop_due() {
+            self.m_redelivered.inc();
             return Ok(Some(f));
         }
         loop {
@@ -900,6 +1004,8 @@ pub struct ChaosFramedTcp {
     armed: Arc<AtomicBool>,
     ledger: FaultLedger,
     lane: Lane,
+    m_tx_frames: Counter,
+    m_tx_bytes: Counter,
 }
 
 impl ChaosFramedTcp {
@@ -908,6 +1014,8 @@ impl ChaosFramedTcp {
     /// # Errors
     /// As [`FramedTcp::send`].
     pub fn send(&mut self, payload: &[u8]) -> Result<(), OranError> {
+        self.m_tx_frames.inc();
+        self.m_tx_bytes.add(payload.len() as u64);
         if !self.armed.load(Ordering::SeqCst) {
             return self.inner.send(payload);
         }

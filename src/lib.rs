@@ -15,6 +15,8 @@
 //! * [`testbed`] — discrete-event + flow-level testbed simulator.
 //! * [`bandit`] — contextual bandits: EdgeBOL, baselines, oracle, DDPG.
 //! * [`core`] — the EdgeBOL orchestration API (the paper's contribution).
+//! * [`metrics`] — zero-dependency observability registry (counters,
+//!   gauges, histograms; see DESIGN.md §8).
 
 pub use edgebol_bandit as bandit;
 pub use edgebol_core as core;
@@ -22,6 +24,7 @@ pub use edgebol_edge as edge;
 pub use edgebol_gp as gp;
 pub use edgebol_linalg as linalg;
 pub use edgebol_media as media;
+pub use edgebol_metrics as metrics;
 pub use edgebol_nn as nn;
 pub use edgebol_oran as oran;
 pub use edgebol_ran as ran;

@@ -1,0 +1,240 @@
+//! Observability-layer invariants (DESIGN.md §8).
+//!
+//! * **Bit-stable snapshots** — under the fixed-seed regime, the
+//!   non-wall-clock part of a metrics snapshot is identical across runs,
+//!   and the counter part is identical across worker-thread counts.
+//! * **Counters ≡ ledger** — under a chaos schedule, the live
+//!   `edgebol_oran_faults_total{kind,link}` counters (incremented inside
+//!   `FaultLedger::push`, a separate code path from the record vector)
+//!   equal the ledger's per-kind/per-link totals.
+//! * **Reset** — `Registry::reset` zeroes every series while keeping
+//!   registrations and outstanding handles wired.
+//! * **Lock-free recording** — concurrent increments/observations from
+//!   many threads lose nothing.
+//! * **Disabled-path neutrality** — an instrumented run produces a trace
+//!   bit-identical to an uninstrumented one, and a disabled registry
+//!   records nothing.
+//!
+//! `EDGEBOL_CHAOS_SEED` offsets the chaos seeds (the CI stress step
+//! loops this suite over ten values); every invariant holds per seed.
+
+use edgebol_bench::parallel_map_threads;
+use edgebol_core::agent::EdgeBolAgent;
+use edgebol_core::orchestrator::Orchestrator;
+use edgebol_core::problem::ProblemSpec;
+use edgebol_core::trace::Trace;
+use edgebol_metrics::{MetricValue, Registry, Snapshot};
+use edgebol_oran::{ChaosConfig, FaultKind, LinkId};
+use edgebol_testbed::{Calibration, FlowTestbed, Scenario};
+
+/// Seed offset for the CI chaos-stress loop (defaults to 0).
+fn seed_offset() -> u64 {
+    std::env::var("EDGEBOL_CHAOS_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
+fn build(env_seed: u64, chaos: ChaosConfig, metrics: Registry) -> Orchestrator {
+    let spec = ProblemSpec::new(1.0, 8.0, 0.5, 0.4);
+    let env = FlowTestbed::new(Calibration::fast(), Scenario::chaos_suite(), env_seed);
+    let agent = EdgeBolAgent::quick_for_tests(&spec, env_seed);
+    Orchestrator::new_instrumented(Box::new(env), Box::new(agent), spec, chaos, metrics)
+        .expect("in-process setup never fails pre-arm")
+}
+
+/// One instrumented episode into a fresh registry.
+fn episode(env_seed: u64, periods: usize, chaos: ChaosConfig) -> (Trace, Orchestrator, Snapshot) {
+    let reg = Registry::new();
+    let mut o = build(env_seed, chaos, reg.clone());
+    let trace = o.try_run(periods).expect("recoverable-only schedules never abort");
+    let snap = reg.snapshot();
+    (trace, o, snap)
+}
+
+/// Strips the wall-clock series (step/rep latencies, utilization) whose
+/// values legitimately vary run to run; everything left must be
+/// bit-stable under a fixed seed.
+fn deterministic_part(snap: &Snapshot) -> Snapshot {
+    snap.filtered(|e| !e.name.contains("seconds") && !e.name.contains("utilization"))
+}
+
+#[test]
+fn fixed_seed_snapshot_is_bit_stable_across_runs() {
+    let seed = 3 + seed_offset();
+    let chaos = || ChaosConfig::all_kinds(11 + seed_offset(), 0.08);
+    let (t1, _, s1) = episode(seed, 30, chaos());
+    let (t2, _, s2) = episode(seed, 30, chaos());
+    assert_eq!(t1.costs(), t2.costs(), "fixed-seed traces must match bit-exactly");
+    assert_eq!(deterministic_part(&s1), deterministic_part(&s2));
+    // The stripped wall-clock series still recorded one sample per period.
+    match s1.get("edgebol_core_step_latency_seconds") {
+        Some(MetricValue::Histogram { count, .. }) => assert_eq!(*count, 30),
+        other => panic!("expected step-latency histogram, got {other:?}"),
+    }
+    // And the rendered exposition text of the deterministic part is
+    // itself reproducible (sorted-key snapshot order).
+    assert_eq!(
+        deterministic_part(&s1).render_prometheus(),
+        deterministic_part(&s2).render_prometheus()
+    );
+}
+
+/// Runs a small fleet of instrumented episodes through the explicit
+/// thread-count runner, all recording into one shared registry, and
+/// returns the counter part of the snapshot.
+fn fleet_counters(threads: usize) -> Snapshot {
+    let reg = Registry::new();
+    let reg_ref = &reg;
+    parallel_map_threads(threads, 6, |i| {
+        let chaos = ChaosConfig::all_kinds(40 + seed_offset() + i as u64, 0.06);
+        let mut o = build(7 + i as u64, chaos, reg_ref.clone());
+        o.try_run(12).expect("recoverable-only schedules never abort");
+    });
+    reg.snapshot().filtered(|e| matches!(e.value, MetricValue::Counter(_)))
+}
+
+#[test]
+fn counters_are_bit_stable_across_thread_counts() {
+    let sequential = fleet_counters(1);
+    let parallel = fleet_counters(4);
+    assert!(!sequential.is_empty());
+    assert_eq!(sequential, parallel);
+}
+
+#[test]
+fn chaos_fault_counters_equal_ledger_totals() {
+    let (_, o, snap) =
+        episode(5 + seed_offset(), 40, ChaosConfig::all_kinds(9 + seed_offset(), 0.1));
+    let ledger = o.fault_ledger();
+    let records = ledger.records();
+    assert!(!records.is_empty(), "0.1 rates over 40 periods must inject");
+    let kinds = [
+        FaultKind::Drop,
+        FaultKind::Duplicate,
+        FaultKind::CorruptBitFlip,
+        FaultKind::CorruptTruncate,
+        FaultKind::Delay,
+        FaultKind::Reorder,
+        FaultKind::LinkCut,
+    ];
+    let mut counter_total = 0;
+    for kind in kinds {
+        for link in [LinkId::A1, LinkId::E2] {
+            let key = format!(
+                "edgebol_oran_faults_total{{kind=\"{}\",link=\"{}\"}}",
+                kind.label(),
+                link.label()
+            );
+            let counted = snap.counter(&key).unwrap_or(0);
+            let ledgered =
+                records.iter().filter(|r| r.kind == kind && r.link == link).count() as u64;
+            assert_eq!(counted, ledgered, "{key} disagrees with the ledger");
+            counter_total += counted;
+        }
+    }
+    assert_eq!(counter_total, ledger.len() as u64, "no fault outside the kind×link grid");
+    // Degraded counters mirror degraded_by_stage exactly.
+    for (stage, n) in o.degraded_by_stage() {
+        let key = format!("edgebol_core_degraded_total{{stage=\"{stage}\"}}");
+        assert_eq!(snap.counter(&key), Some(*n as u64), "{key}");
+    }
+}
+
+#[test]
+fn link_cut_is_counted_once_and_lands_in_the_error_counter() {
+    let reg = Registry::new();
+    let chaos = ChaosConfig::disabled().with_cut(LinkId::E2, 25 + seed_offset() % 10);
+    let mut o = build(2 + seed_offset(), chaos, reg.clone());
+    let err = o.try_run(200).expect_err("a scheduled cut must surface");
+    let snap = reg.snapshot();
+    assert_eq!(
+        snap.counter("edgebol_oran_faults_total{kind=\"link_cut\",link=\"E2\"}"),
+        Some(1),
+        "the cut is counted exactly once"
+    );
+    let key = format!("edgebol_core_control_plane_errors_total{{stage=\"{}\"}}", err.stage());
+    assert_eq!(snap.counter(&key), Some(1), "{key}");
+    // Completed periods were counted; the aborted one was not.
+    let completed = snap.counter("edgebol_core_periods_total").unwrap();
+    assert!(completed < 200, "the cut must abort the run early");
+}
+
+#[test]
+fn reset_zeroes_every_series_and_keeps_handles_wired() {
+    let reg = Registry::new();
+    let mut o =
+        build(4 + seed_offset(), ChaosConfig::all_kinds(3 + seed_offset(), 0.1), reg.clone());
+    o.try_run(20).expect("recoverable-only schedules never abort");
+    assert!(reg.snapshot().entries.iter().any(|e| e.value != MetricValue::Counter(0)));
+    reg.reset();
+    for e in reg.snapshot().entries {
+        match e.value {
+            MetricValue::Counter(v) => assert_eq!(v, 0, "{}", e.name),
+            MetricValue::Gauge(v) => assert_eq!(v, 0.0, "{}", e.name),
+            MetricValue::Histogram { buckets, count, sum, .. } => {
+                assert_eq!(count, 0, "{}", e.name);
+                assert_eq!(sum, 0.0, "{}", e.name);
+                assert!(buckets.iter().all(|&b| b == 0), "{}", e.name);
+            }
+        }
+    }
+    // The orchestrator's pre-resolved handles still point at live cells.
+    o.try_run(5).expect("runs fine after a reset");
+    assert_eq!(reg.snapshot().counter("edgebol_core_periods_total"), Some(5));
+}
+
+#[test]
+fn concurrent_recording_loses_no_increments() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 20_000;
+    let reg = Registry::new();
+    let c = reg.counter("edgebol_test_hits_total");
+    let h = reg.histogram("edgebol_test_values", &[0.25, 0.5, 0.75]);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let c = c.clone();
+            let h = h.clone();
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    // Values cycle the buckets; each thread contributes a
+                    // known per-bucket count.
+                    h.observe((i % 4) as f64 * 0.25);
+                }
+            });
+            let _ = t;
+        }
+    });
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(c.get(), total);
+    assert_eq!(h.count(), total);
+    match reg.snapshot().get("edgebol_test_values") {
+        Some(MetricValue::Histogram { buckets, .. }) => {
+            // 0.0 and 0.25 share the first bucket (le=0.25).
+            assert_eq!(buckets, &vec![total / 2, total / 4, total / 4, 0]);
+        }
+        other => panic!("expected histogram, got {other:?}"),
+    }
+}
+
+#[test]
+fn disabled_registry_records_nothing_and_does_not_perturb_the_run() {
+    let seed = 6 + seed_offset();
+    let chaos = || ChaosConfig::all_kinds(13 + seed_offset(), 0.08);
+    let (instrumented, _, snap) = episode(seed, 25, chaos());
+    assert!(!snap.is_empty());
+    // Same seeds, disabled registry: the trace must be bit-identical —
+    // the paper-facing numbers cannot depend on observability.
+    let disabled = Registry::disabled();
+    let mut o = build(seed, chaos(), disabled.clone());
+    let plain = o.try_run(25).expect("recoverable-only schedules never abort");
+    assert_eq!(instrumented.costs(), plain.costs());
+    assert!(disabled.snapshot().is_empty());
+    assert!(!disabled.is_enabled());
+}
+
+#[test]
+fn global_registry_obeys_the_env_knob() {
+    // This suite doesn't set EDGEBOL_METRICS; whatever the environment
+    // says, the process-wide registry must agree with the parsed mode.
+    let enabled = *edgebol_bench::metrics_mode() != edgebol_bench::MetricsMode::Off;
+    assert_eq!(edgebol_bench::metrics().is_enabled(), enabled);
+}
