@@ -13,7 +13,7 @@ use edgebol_core::orchestrator::{Orchestrator, OrchestratorError};
 use edgebol_core::problem::ProblemSpec;
 use edgebol_core::trace::Trace;
 use edgebol_metrics::Registry;
-use edgebol_oran::ChaosConfig;
+use edgebol_oran::{ChaosConfig, FallbackMode, RecoveryPolicy};
 use edgebol_testbed::Environment;
 use std::fmt::Write as _;
 use std::fs;
@@ -122,6 +122,31 @@ pub fn chaos_from_env() -> Option<&'static ChaosConfig> {
             Some(cfg)
         })
         .as_ref()
+}
+
+/// The reconnect-supervisor policy requested via the `EDGEBOL_FALLBACK`
+/// environment variable: empty or `sticky` → the default policy (local
+/// autonomy survives an exhausted retry budget, with half-open probes),
+/// `off` → [`FallbackMode::Off`] (an exhausted budget surfaces
+/// [`OrchestratorError::CircuitOpen`] and the run fails fast). Every
+/// harness run routes through this, so any figure can be re-run under
+/// either survival contract.
+///
+/// # Panics
+/// Panics (once) on a malformed value — a misspelled knob must not
+/// silently change the survival contract, mirroring [`chaos_from_env`].
+pub fn recovery_from_env() -> &'static RecoveryPolicy {
+    static POLICY: OnceLock<RecoveryPolicy> = OnceLock::new();
+    POLICY.get_or_init(|| {
+        let v = std::env::var("EDGEBOL_FALLBACK").unwrap_or_default();
+        let mode = v
+            .parse::<FallbackMode>()
+            .unwrap_or_else(|e| panic!("invalid EDGEBOL_FALLBACK value: {e}"));
+        if mode == FallbackMode::Off {
+            eprintln!("[edgebol-bench] fallback disabled: an open circuit aborts the run");
+        }
+        RecoveryPolicy::default().with_fallback(mode)
+    })
 }
 
 /// A printable/serializable results table.
@@ -371,7 +396,8 @@ pub fn try_run_once_with_chaos(
     chaos: ChaosConfig,
 ) -> Result<Trace, OrchestratorError> {
     let mut orch = Orchestrator::new_instrumented(env, agent, spec, chaos, metrics().clone())?
-        .with_constraint_schedule(schedule);
+        .with_constraint_schedule(schedule)
+        .with_recovery(*recovery_from_env());
     orch.record_safe_set = record_safe_set;
     let trace = orch.try_run(periods)?;
     let ledger = orch.fault_ledger();
@@ -381,6 +407,16 @@ pub fn try_run_once_with_chaos(
             ledger.len(),
             ledger.degrading_count(),
             orch.degraded_events()
+        );
+    }
+    if orch.local_autonomy_periods() > 0 {
+        eprintln!(
+            "[edgebol-bench] recovery summary: {} local-autonomy periods, \
+             {} resyncs ok, {} failed, final circuit {:?}",
+            orch.local_autonomy_periods(),
+            orch.reconnects_ok(),
+            orch.reconnects_failed(),
+            orch.circuit_state()
         );
     }
     Ok(trace)

@@ -115,7 +115,8 @@ pub enum FaultKind {
     /// The frame swaps places with its successor (receive lanes only).
     Reorder,
     /// The link dies: this and every later operation returns
-    /// [`OranError::ChannelClosed`].
+    /// [`OranError::ChannelClosed`] — until the cut heals, if a healing
+    /// window was scheduled (see [`ChaosConfig::heal`]).
     LinkCut,
 }
 
@@ -267,6 +268,11 @@ pub struct ChaosConfig {
     pub e2_rx: LaneConfig,
     /// Kill the given link after this many post-arm operations on it.
     pub cut: Option<(LinkId, u64)>,
+    /// Heal the cut this many operations after it fired: operations in
+    /// `[cut_at, cut_at + heal)` fail with `ChannelClosed`, later ones
+    /// pass again. `None` leaves the cut permanent. Meaningless without
+    /// [`ChaosConfig::cut`] (and rejected by [`ChaosConfig::from_spec`]).
+    pub heal: Option<u64>,
 }
 
 impl ChaosConfig {
@@ -279,12 +285,21 @@ impl ChaosConfig {
             e2_tx: LaneConfig::off(),
             e2_rx: LaneConfig::off(),
             cut: None,
+            heal: None,
         }
     }
 
     /// The same lane config on all four lanes.
     pub fn uniform(seed: u64, lane: LaneConfig) -> Self {
-        ChaosConfig { seed, a1_tx: lane, a1_rx: lane, e2_tx: lane, e2_rx: lane, cut: None }
+        ChaosConfig {
+            seed,
+            a1_tx: lane,
+            a1_rx: lane,
+            e2_tx: lane,
+            e2_rx: lane,
+            cut: None,
+            heal: None,
+        }
     }
 
     /// Drop + corrupt everywhere at `rate` (exact-accounting suite).
@@ -300,6 +315,20 @@ impl ChaosConfig {
     /// Adds a scheduled link cut.
     pub fn with_cut(mut self, link: LinkId, after_ops: u64) -> Self {
         self.cut = Some((link, after_ops));
+        self
+    }
+
+    /// Schedules the cut to heal `after_ops` operations after it fires
+    /// (see [`ChaosConfig::heal`]); call on top of
+    /// [`ChaosConfig::with_cut`].
+    ///
+    /// # Panics
+    /// Panics when no cut is scheduled or `after_ops` is zero — the spec
+    /// parser rejects both with proper errors; the builder asserts.
+    pub fn with_heal(mut self, after_ops: u64) -> Self {
+        assert!(self.cut.is_some(), "with_heal requires a scheduled cut");
+        assert!(after_ops > 0, "heal window must be positive");
+        self.heal = Some(after_ops);
         self
     }
 
@@ -325,7 +354,9 @@ impl ChaosConfig {
     ///
     /// Keys: `seed`, `rate` (shorthand for `drop` + `corrupt`), `drop`,
     /// `dup`, `corrupt`, `delay`, `reorder`, `delay_ops`, `burst_every`,
-    /// `burst_len`, `burst_mult`, and `cut=a1@N` / `cut=e2@N`.
+    /// `burst_len`, `burst_mult`, `cut=a1@N` / `cut=e2@N`, and
+    /// `heal=a1@M` / `heal=e2@M` (the cut clears `M` operations after it
+    /// fires; requires a matching `cut` on the same link and `M > 0`).
     ///
     /// # Errors
     /// A human-readable message naming the offending pair.
@@ -333,6 +364,19 @@ impl ChaosConfig {
         let mut seed = 1u64;
         let mut lane = LaneConfig::off();
         let mut cut = None;
+        let mut heal = None;
+        let parse_link_at = |key: &'static str, value: &str| -> Result<(LinkId, u64), String> {
+            let (link, at) = value
+                .split_once('@')
+                .ok_or_else(|| format!("{key}: expected a1@N or e2@N, got {value:?}"))?;
+            let link = match link {
+                "a1" | "A1" => LinkId::A1,
+                "e2" | "E2" => LinkId::E2,
+                other => return Err(format!("{key}: unknown link {other:?}")),
+            };
+            let at = at.parse::<u64>().map_err(|_| format!("{key}: not an op count: {at:?}"))?;
+            Ok((link, at))
+        };
         for pair in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
             let (key, value) =
                 pair.split_once('=').ok_or_else(|| format!("expected key=value, got {pair:?}"))?;
@@ -356,24 +400,29 @@ impl ChaosConfig {
                 "burst_every" => lane.burst_every = uval()?,
                 "burst_len" => lane.burst_len = uval()?,
                 "burst_mult" => lane.burst_mult = fval()?,
-                "cut" => {
-                    let (link, at) = value
-                        .split_once('@')
-                        .ok_or_else(|| format!("cut: expected a1@N or e2@N, got {value:?}"))?;
-                    let link = match link {
-                        "a1" | "A1" => LinkId::A1,
-                        "e2" | "E2" => LinkId::E2,
-                        other => return Err(format!("cut: unknown link {other:?}")),
-                    };
-                    let at =
-                        at.parse::<u64>().map_err(|_| format!("cut: not an op count: {at:?}"))?;
-                    cut = Some((link, at));
-                }
+                "cut" => cut = Some(parse_link_at("cut", value)?),
+                "heal" => heal = Some(parse_link_at("heal", value)?),
                 other => return Err(format!("unknown chaos key {other:?}")),
             }
         }
+        let heal = match (cut, heal) {
+            (_, None) => None,
+            (None, Some(_)) => {
+                return Err("heal: requires a matching cut=<link>@N".into());
+            }
+            (Some((cut_link, _)), Some((heal_link, _))) if cut_link != heal_link => {
+                return Err(format!(
+                    "heal: link {heal_link} does not match the cut link {cut_link}"
+                ));
+            }
+            (Some(_), Some((_, 0))) => {
+                return Err("heal: window must be positive (got 0)".into());
+            }
+            (Some(_), Some((_, after))) => Some(after),
+        };
         let mut cfg = ChaosConfig::uniform(seed, lane);
         cfg.cut = cut;
+        cfg.heal = heal;
         Ok(cfg)
     }
 }
@@ -395,6 +444,10 @@ pub struct FaultRecord {
     pub op: u64,
     /// Human-readable specifics ("held until op 12", "byte 7 -> 0xFF").
     pub detail: String,
+    /// For [`FaultKind::LinkCut`]: whether a healing window is scheduled
+    /// (the link comes back, so the outage is survivable). Always `false`
+    /// for other kinds.
+    pub heals: bool,
 }
 
 impl FaultRecord {
@@ -415,8 +468,14 @@ impl FaultRecord {
     /// * Duplicates and reorders are absorbed by the protocol (stale
     ///   acks are ignored, stale KPI stamps are dropped) and never
     ///   degrade on their own.
-    /// * A link cut is not *degrading* — it is fatal, surfacing as an
-    ///   unrecoverable `OrchestratorError` instead of degraded mode.
+    /// * A *healing* link cut (see [`ChaosConfig::heal`]) degrades: the
+    ///   reconnect supervisor rides the outage in local-autonomy mode,
+    ///   so periods ran on fallback state. The single ledgered record
+    ///   marks the whole outage; the per-period cost is counted
+    ///   separately by the orchestrator's `local_autonomy_periods`.
+    ///   An unhealed cut stays non-degrading — it is fatal (or latches
+    ///   the circuit open), surfacing as an `OrchestratorError` or a
+    ///   permanent fallback instead of a bounded degraded episode.
     ///
     /// Caveat (why the exact-accounting suite uses drop+corrupt only):
     /// a delayed or duplicated frame re-delivered in a *later* period
@@ -434,7 +493,8 @@ impl FaultRecord {
                     | MsgClass::E2Indication
                     | MsgClass::A1KpiSample
             ),
-            FaultKind::Duplicate | FaultKind::Reorder | FaultKind::LinkCut => false,
+            FaultKind::LinkCut => self.heals,
+            FaultKind::Duplicate | FaultKind::Reorder => false,
         }
     }
 }
@@ -460,24 +520,17 @@ impl FaultLedger {
         FaultLedger { inner: Arc::default(), metrics }
     }
 
-    fn push(
-        &self,
-        link: LinkId,
-        direction: Direction,
-        kind: FaultKind,
-        msg: MsgClass,
-        op: u64,
-        detail: String,
-    ) {
+    /// Append `record`, overwriting its `seq` with the next ledger index.
+    fn push(&self, mut record: FaultRecord) {
         self.metrics
             .counter_with(
                 "edgebol_oran_faults_total",
-                &[("kind", kind.label()), ("link", link.label())],
+                &[("kind", record.kind.label()), ("link", record.link.label())],
             )
             .inc();
         let mut v = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
-        let seq = v.len() as u64;
-        v.push(FaultRecord { seq, link, direction, kind, msg, op, detail });
+        record.seq = v.len() as u64;
+        v.push(record);
     }
 
     /// A snapshot of every record, in injection order.
@@ -732,6 +785,7 @@ impl ChaosPlan {
             armed: self.armed.clone(),
             ledger: self.ledger.clone(),
             cut_at,
+            heal_after: if cut_at.is_some() { self.cfg.heal } else { None },
             ops: AtomicU64::new(0),
             cut_latched: AtomicBool::new(false),
             tx: Mutex::new(Lane::new(
@@ -802,6 +856,10 @@ pub struct ChaosEndpoint {
     ledger: FaultLedger,
     /// Kill the link after this many post-arm operations (tx + rx).
     cut_at: Option<u64>,
+    /// Bring the link back this many operations after the cut fired
+    /// (operations keep counting while it is down — probes advance the
+    /// heal clock).
+    heal_after: Option<u64>,
     ops: AtomicU64,
     cut_latched: AtomicBool,
     tx: Mutex<Lane>,
@@ -820,25 +878,58 @@ pub struct ChaosEndpoint {
 
 impl ChaosEndpoint {
     fn record(&self, lane: &Lane, kind: FaultKind, payload: &[u8], detail: String) {
-        self.ledger.push(self.link, lane.dir, kind, classify(self.link, payload), lane.op, detail);
+        self.ledger.push(FaultRecord {
+            seq: 0,
+            link: self.link,
+            direction: lane.dir,
+            kind,
+            msg: classify(self.link, payload),
+            op: lane.op,
+            detail,
+            heals: false,
+        });
     }
 
-    /// Counts one post-arm operation against the cut schedule.
+    /// Counts one post-arm operation against the cut schedule. Without a
+    /// healing window every operation from `cut_at` on fails; with one,
+    /// operations in `[cut_at, cut_at + heal)` fail and later ones pass
+    /// — operations keep counting while the link is down, so reconnect
+    /// probes advance the heal clock deterministically.
     fn tick_cut(&self, dir: Direction) -> Result<(), OranError> {
         let Some(cut_at) = self.cut_at else { return Ok(()) };
         let n = self.ops.fetch_add(1, Ordering::SeqCst);
         if n >= cut_at {
-            if !self.cut_latched.swap(true, Ordering::SeqCst) {
-                self.ledger.push(
-                    self.link,
-                    dir,
-                    FaultKind::LinkCut,
-                    MsgClass::Unknown,
-                    n,
-                    format!("link cut after {cut_at} operations"),
-                );
+            let healed = match self.heal_after {
+                Some(heal) => n >= cut_at.saturating_add(heal),
+                None => false,
+            };
+            if healed {
+                return Ok(());
             }
-            return Err(OranError::ChannelClosed("chaos: link cut"));
+            if !self.cut_latched.swap(true, Ordering::SeqCst) {
+                let detail = match self.heal_after {
+                    Some(heal) => {
+                        format!("link cut after {cut_at} operations, heals after {heal} more")
+                    }
+                    None => format!("link cut after {cut_at} operations"),
+                };
+                self.ledger.push(FaultRecord {
+                    seq: 0,
+                    link: self.link,
+                    direction: dir,
+                    kind: FaultKind::LinkCut,
+                    msg: MsgClass::Unknown,
+                    op: n,
+                    detail,
+                    heals: self.heal_after.is_some(),
+                });
+            }
+            // The message names the link so the reconnect supervisor can
+            // attribute the loss without guessing from the stage.
+            return Err(OranError::ChannelClosed(match self.link {
+                LinkId::A1 => "chaos: A1 link cut",
+                LinkId::E2 => "chaos: E2 link cut",
+            }));
         }
         Ok(())
     }
@@ -1061,14 +1152,16 @@ impl ChaosFramedTcp {
     }
 
     fn push_record(&self, kind: FaultKind, payload: &[u8], detail: String) {
-        self.ledger.push(
-            self.link,
-            self.lane.dir,
+        self.ledger.push(FaultRecord {
+            seq: 0,
+            link: self.link,
+            direction: self.lane.dir,
             kind,
-            classify(self.link, payload),
-            self.lane.op,
+            msg: classify(self.link, payload),
+            op: self.lane.op,
             detail,
-        );
+            heals: false,
+        });
     }
 }
 
@@ -1277,7 +1370,36 @@ mod tests {
         let cuts: Vec<_> =
             plan.ledger().records().into_iter().filter(|r| r.kind == FaultKind::LinkCut).collect();
         assert_eq!(cuts.len(), 1, "the cut is ledgered exactly once");
-        assert_eq!(plan.ledger().degrading_count(), 0);
+        assert!(!cuts[0].heals, "a permanent cut does not heal");
+        assert_eq!(plan.ledger().degrading_count(), 0, "an unhealed cut is fatal, not degrading");
+    }
+
+    #[test]
+    fn healing_cut_fails_inside_the_window_and_passes_after() {
+        // Cut at op 2, heal 3 ops later: ops 0–1 pass, 2–4 fail, 5+ pass.
+        let cfg = ChaosConfig::disabled().with_cut(LinkId::E2, 2).with_heal(3);
+        let plan = ChaosPlan::new(cfg);
+        let (peer, b) = duplex_pair();
+        let wrapped = plan.wrap(b, LinkId::E2);
+        plan.arm();
+        peer.send(frame(0)).unwrap();
+        peer.send(frame(1)).unwrap();
+        assert_eq!(wrapped.try_recv().unwrap().unwrap(), frame(0)); // op 0
+        wrapped.send(frame(9)).unwrap(); // op 1
+        for _ in 0..3 {
+            // Ops 2, 3, 4: the outage window.
+            assert!(matches!(wrapped.try_recv(), Err(OranError::ChannelClosed(_))));
+        }
+        // Op 5: healed — the pre-cut frame is still queued and comes out.
+        assert_eq!(wrapped.try_recv().unwrap().unwrap(), frame(1));
+        wrapped.send(frame(10)).unwrap();
+        assert_eq!(peer.try_recv().unwrap().unwrap(), frame(9));
+        assert_eq!(peer.try_recv().unwrap().unwrap(), frame(10));
+        let cuts: Vec<_> =
+            plan.ledger().records().into_iter().filter(|r| r.kind == FaultKind::LinkCut).collect();
+        assert_eq!(cuts.len(), 1, "a healing cut is still ledgered exactly once");
+        assert!(cuts[0].heals);
+        assert_eq!(plan.ledger().degrading_count(), 1, "a healed outage counts as degrading");
     }
 
     #[test]
@@ -1330,6 +1452,29 @@ mod tests {
         assert!(ChaosConfig::from_spec("bogus").is_err());
         assert!(ChaosConfig::from_spec("drop=x").is_err());
         assert!(ChaosConfig::from_spec("cut=lte@5").is_err());
+    }
+
+    #[test]
+    fn from_spec_parses_healing_cuts_and_rejects_invalid_ones() {
+        let cfg = ChaosConfig::from_spec("cut=e2@40,heal=e2@25").unwrap();
+        assert_eq!(cfg.cut, Some((LinkId::E2, 40)));
+        assert_eq!(cfg.heal, Some(25));
+        assert!(cfg.enabled());
+        // Spec order must not matter.
+        let swapped = ChaosConfig::from_spec("heal=e2@25,cut=e2@40").unwrap();
+        assert_eq!(swapped, cfg);
+        // heal without a cut.
+        let e = ChaosConfig::from_spec("heal=e2@10").unwrap_err();
+        assert!(e.contains("requires a matching cut"), "got: {e}");
+        // heal on the wrong link.
+        let e = ChaosConfig::from_spec("cut=e2@40,heal=a1@10").unwrap_err();
+        assert!(e.contains("does not match the cut link"), "got: {e}");
+        // heal window must be positive; negatives are not op counts.
+        let e = ChaosConfig::from_spec("cut=e2@40,heal=e2@0").unwrap_err();
+        assert!(e.contains("must be positive"), "got: {e}");
+        assert!(ChaosConfig::from_spec("cut=e2@40,heal=e2@-3").is_err());
+        assert!(ChaosConfig::from_spec("heal=lte@5,cut=e2@1").is_err());
+        assert!(ChaosConfig::from_spec("heal=e2").is_err());
     }
 
     #[test]

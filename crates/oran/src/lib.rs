@@ -31,6 +31,7 @@
 pub mod a1;
 pub mod chaos;
 pub mod e2;
+pub mod recovery;
 pub mod ric;
 pub mod transport;
 
@@ -40,6 +41,7 @@ pub use chaos::{
     FaultLedger, FaultRecord, LaneConfig, LinkId, MsgClass,
 };
 pub use e2::{E2Codec, E2Message, KpiReport};
+pub use recovery::{CircuitState, FallbackMode, RecoveryAction, RecoveryPolicy, Supervisor};
 pub use ric::{E2Node, NearRtRic, NonRtRic, RicEvent};
 pub use transport::{duplex_pair, Endpoint, FramedTcp, Link};
 
@@ -118,6 +120,32 @@ impl OranError {
     pub fn is_connection_lost(&self) -> bool {
         !self.is_recoverable()
     }
+
+    /// Whether this error ends the current *session* — the established
+    /// link + protocol state — as opposed to damaging one message on a
+    /// healthy link.
+    ///
+    /// This is a different axis than [`OranError::is_recoverable`]:
+    /// a `ChannelClosed` is unrecoverable *within* a session (no further
+    /// traffic crosses the dead link), yet it is exactly what the
+    /// reconnect supervisor ([`recovery::Supervisor`]) retries — it tears
+    /// the session down, re-establishes the link and resyncs protocol
+    /// state. Message-level damage (`Framing`/`Codec`/`Handshake`) never
+    /// requires a new session; degraded mode absorbs it in place.
+    ///
+    /// The match is deliberately exhaustive (no wildcard arm), like
+    /// [`OranError::is_recoverable`], and
+    /// `tests::is_session_fatal_classifies_every_variant` pins one
+    /// assertion per variant.
+    pub fn is_session_fatal(&self) -> bool {
+        match self {
+            OranError::Framing(_) => false,
+            OranError::Codec(_) => false,
+            OranError::Handshake(_) => false,
+            OranError::ChannelClosed(_) => true,
+            OranError::Io(_) => true,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +167,22 @@ mod tests {
             .is_recoverable());
     }
 
+    /// One assertion per variant, mirroring
+    /// `is_recoverable_classifies_every_variant` on the session axis:
+    /// message damage keeps the session, link/transport loss ends it.
+    #[test]
+    fn is_session_fatal_classifies_every_variant() {
+        // Message-level damage: the session survives.
+        assert!(!OranError::Framing("oversized frame".into()).is_session_fatal());
+        assert!(!OranError::Codec("unknown tag".into()).is_session_fatal());
+        assert!(!OranError::Handshake("unexpected message".into()).is_session_fatal());
+        // Link/transport loss: the session is over — but the supervisor
+        // may establish a new one (see `recovery::Supervisor`).
+        assert!(OranError::ChannelClosed("peer endpoint dropped").is_session_fatal());
+        assert!(OranError::Io(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe"))
+            .is_session_fatal());
+    }
+
     #[test]
     fn connection_lost_is_the_exact_complement() {
         let all = [
@@ -150,6 +194,12 @@ mod tests {
         ];
         for e in &all {
             assert_ne!(e.is_recoverable(), e.is_connection_lost(), "{e}");
+            // On today's taxonomy the two axes coincide extensionally:
+            // every session-fatal error is also connection-lost. The
+            // distinction is in what callers do with it (give up within
+            // the session vs hand to the supervisor), so both names are
+            // kept and both matches stay exhaustive.
+            assert_eq!(e.is_session_fatal(), e.is_connection_lost(), "{e}");
         }
     }
 }

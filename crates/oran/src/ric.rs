@@ -66,6 +66,21 @@ impl<L: Link> NonRtRic<L> {
         self.enforced.len()
     }
 
+    /// Resync step after a session loss: drains and discards stale A1
+    /// frames from the dead session and forgets deployed-but-unconfirmed
+    /// policies (the supervisor re-pushes the last acknowledged policy
+    /// under a fresh id). Returns the number of frames discarded.
+    ///
+    /// # Errors
+    /// [`OranError::ChannelClosed`] when the A1 link is still down and
+    /// nothing was pending — the resync attempt fails and the supervisor
+    /// backs off.
+    pub fn reset_session(&mut self) -> Result<usize, OranError> {
+        let discarded = self.a1.drain()?.len();
+        self.pending.clear();
+        Ok(discarded)
+    }
+
     /// Drains A1 feedback and KPI samples.
     ///
     /// # Errors
@@ -130,6 +145,43 @@ impl<A: Link, E: Link> NearRtRic<A, E> {
             report_period_ms: period_ms,
         };
         self.e2.send(E2Codec::encode_to_bytes(&msg))
+    }
+
+    /// Resync step after a session loss: drains and discards stale
+    /// frames on both links, clears the partial E2 reassembly buffer and
+    /// forgets the in-flight ack (the dead session's `ControlAck` must
+    /// not confirm a policy pushed under the new epoch). Returns the
+    /// number of frames discarded.
+    ///
+    /// # Errors
+    /// [`OranError::ChannelClosed`] when a link is still down and had
+    /// nothing pending — the resync attempt fails and the supervisor
+    /// backs off.
+    pub fn reset_session(&mut self) -> Result<usize, OranError> {
+        let discarded = self.a1.drain()?.len() + self.e2.drain()?.len();
+        self.e2_rx_buf.clear();
+        self.awaiting_ack = None;
+        Ok(discarded)
+    }
+
+    /// Outage keepalive: one receive attempt per link, discarding
+    /// whatever surfaces (anything arriving mid-outage belongs to the
+    /// dead session). Errors are swallowed — a cut link is exactly the
+    /// expected case. Returns the number of frames discarded.
+    ///
+    /// The orchestrator calls this once per local-autonomy period so the
+    /// links' operation clocks keep ticking during an outage: a healing
+    /// window expressed in operations (`heal=e2@M`) elapses even though
+    /// no control-plane round trips run.
+    pub fn probe_links(&mut self) -> usize {
+        let mut discarded = 0;
+        if let Ok(Some(_)) = self.a1.try_recv() {
+            discarded += 1;
+        }
+        if let Ok(Some(_)) = self.e2.try_recv() {
+            discarded += 1;
+        }
+        discarded
     }
 
     /// One poll round: translate inbound A1 policies to E2 control, and
@@ -222,6 +274,23 @@ impl<L: Link> E2Node<L> {
     /// Whether a KPI subscription is active.
     pub fn is_subscribed(&self) -> bool {
         self.subscribed
+    }
+
+    /// Resync step after a session loss: drains and discards stale E2
+    /// frames, clears the partial reassembly buffer and drops the KPI
+    /// subscription (a stale `ControlRequest` from the dead session must
+    /// not be applied; the near-RT RIC re-subscribes under the new
+    /// epoch). Returns the number of frames discarded.
+    ///
+    /// # Errors
+    /// [`OranError::ChannelClosed`] when the E2 link is still down and
+    /// nothing was pending — the resync attempt fails and the supervisor
+    /// backs off.
+    pub fn reset_session(&mut self) -> Result<usize, OranError> {
+        let discarded = self.e2.drain()?.len();
+        self.rx_buf.clear();
+        self.subscribed = false;
+        Ok(discarded)
     }
 
     /// Drains inbound E2 traffic, applying control requests.
@@ -357,6 +426,48 @@ mod tests {
         let events = nonrt.poll().unwrap();
         assert!(events.iter().any(|e| *e
             == RicEvent::PolicyFeedback { policy_id: id.clone(), status: PolicyStatus::Deleted }));
+    }
+
+    #[test]
+    fn reset_session_discards_stale_state_across_the_chain() {
+        let (mut nonrt, mut nearrt, mut node, applied) = chain();
+        nearrt.subscribe_kpis(1000).unwrap();
+        node.poll().unwrap();
+        assert!(node.is_subscribed());
+        // Deploy a policy and stop mid-flight: the ControlRequest is
+        // queued toward the node when the session dies.
+        nonrt.put_policy(RadioPolicy { airtime: 0.4, max_mcs: 9 }).unwrap();
+        nearrt.poll().unwrap();
+        assert_eq!(node.reset_session().unwrap(), 1, "stale ControlRequest discarded");
+        assert!(!node.is_subscribed(), "subscription does not survive the session");
+        assert_eq!(nearrt.reset_session().unwrap(), 0);
+        assert_eq!(nonrt.reset_session().unwrap(), 0);
+        // The discarded request is never applied, even after new polls.
+        node.poll().unwrap();
+        assert!(applied.lock().unwrap().is_empty());
+        // The chain re-handshakes cleanly under the new session.
+        nearrt.subscribe_kpis(1000).unwrap();
+        node.poll().unwrap();
+        assert!(node.is_subscribed());
+    }
+
+    #[test]
+    fn probe_links_discards_and_survives_dead_links() {
+        let (mut nonrt, mut nearrt, mut node, _) = chain();
+        nearrt.subscribe_kpis(1000).unwrap();
+        node.poll().unwrap();
+        node.indicate(KpiReport { t_ms: 9, bs_power_mw: 10, duty_milli: 0, mean_mcs_centi: 0 })
+            .unwrap();
+        // Two E2 frames are queued (SubscriptionResponse, Indication):
+        // each probe discards at most one per link.
+        assert_eq!(nearrt.probe_links(), 1);
+        assert!(nonrt.poll().unwrap().is_empty());
+        // Dead peers: probing must not error; queued traffic still
+        // surfaces (and is discarded), then the dead links yield nothing.
+        drop(nonrt);
+        drop(node);
+        assert_eq!(nearrt.probe_links(), 1);
+        assert_eq!(nearrt.probe_links(), 0);
     }
 
     #[test]

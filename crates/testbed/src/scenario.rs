@@ -62,6 +62,15 @@ impl Scenario {
         Self::single_user(35.0)
     }
 
+    /// The recovery (survivable-control-plane) suite setting: identical
+    /// to [`Scenario::chaos_suite`], named separately so outage/resync
+    /// experiments keep compiling if the chaos suite's operating point
+    /// ever moves. Trace-prefix assertions ("bit-identical up to the
+    /// outage window") rely on the fixed environment this provides.
+    pub fn recovery_suite() -> Self {
+        Self::chaos_suite()
+    }
+
     /// Number of users.
     pub fn num_users(&self) -> usize {
         self.users.len()
@@ -110,6 +119,15 @@ mod tests {
         let early = s.snr_db(0, 0);
         let later = s.snr_db(0, 110);
         assert_ne!(early, later);
+    }
+
+    #[test]
+    fn recovery_suite_matches_the_chaos_suite_operating_point() {
+        let r = Scenario::recovery_suite();
+        let c = Scenario::chaos_suite();
+        assert_eq!(r.num_users(), c.num_users());
+        assert_eq!(r.snr_db(0, 0), c.snr_db(0, 0));
+        assert_eq!(r.snr_db(0, 500), c.snr_db(0, 500));
     }
 
     #[test]

@@ -15,9 +15,11 @@
 //!   diverges from the last acknowledged policy, at any fault rate.
 //! * **Determinism** — two runs under the same seed yield identical
 //!   traces and identical fault ledgers.
-//! * **Lost links are fatal, not degraded** — a scheduled link cut
-//!   surfaces as an unrecoverable `OrchestratorError` naming a near-RT
-//!   stage, at a deterministic period.
+//! * **Lost links are circuit-broken, not degraded** — an unhealed link
+//!   cut is absorbed by the reconnect supervisor; once the retry budget
+//!   is spent, a run with fallback disabled fails fast with the typed
+//!   `OrchestratorError::CircuitOpen`, at a deterministic period.
+//!   (Healing cuts and sticky survival live in `tests/recovery.rs`.)
 //!
 //! `EDGEBOL_CHAOS_SEED` offsets every chaos seed (the CI stress step
 //! loops it over ten values); the invariants hold for any seed.
@@ -26,7 +28,9 @@ use edgebol_core::agent::EdgeBolAgent;
 use edgebol_core::orchestrator::{Orchestrator, OrchestratorError};
 use edgebol_core::problem::ProblemSpec;
 use edgebol_core::trace::Trace;
-use edgebol_oran::{ChaosConfig, FaultKind, FaultRecord, LaneConfig, LinkId, MsgClass};
+use edgebol_oran::{
+    ChaosConfig, FallbackMode, FaultKind, FaultRecord, LaneConfig, LinkId, MsgClass, RecoveryPolicy,
+};
 use edgebol_ran::Mcs;
 use edgebol_testbed::{Calibration, FlowTestbed, Scenario};
 
@@ -139,6 +143,7 @@ fn delay_only_on_e2_rx_is_exactly_accounted() {
         e2_tx: LaneConfig::off(),
         e2_rx: LaneConfig { delay: 0.3, delay_ops: 2, ..LaneConfig::off() },
         cut: None,
+        heal: None,
     };
     let (trace, o) = episode(18, 40, cfg);
     let ledger = o.fault_ledger();
@@ -191,19 +196,33 @@ fn all_kinds_with_bursts_never_panics_and_stays_truthful() {
 }
 
 #[test]
-fn link_cut_aborts_with_an_unrecoverable_error_at_a_nearrt_stage() {
+fn unhealed_link_cut_with_fallback_off_fails_fast_with_circuit_open() {
     let run = |link: LinkId| -> (usize, &'static str, String) {
         let cfg = ChaosConfig::disabled().with_cut(link, 40);
-        let mut o = build(20, cfg);
+        let mut o = build(20, cfg)
+            .with_recovery(RecoveryPolicy::default().with_fallback(FallbackMode::Off));
         for t in 0..200 {
             match o.try_step() {
                 Ok(_) => {}
                 Err(e) => {
-                    assert!(!e.is_recoverable(), "a cut link is not degraded mode: {e}");
-                    assert!(e.to_string().contains("link cut"), "{e}");
-                    // All chaos-wrapped traffic transits the xApp.
-                    assert!(e.stage().contains("near-RT poll"), "unexpected stage {}", e.stage());
-                    // The cut is ledgered exactly once, as non-degrading.
+                    assert!(!e.is_recoverable(), "an open circuit is not degraded mode: {e}");
+                    assert!(!e.is_session_fatal(), "the verdict itself ends no session: {e}");
+                    match e {
+                        OrchestratorError::CircuitOpen { link: l, attempts } => {
+                            assert_eq!(l, link, "the supervisor must attribute the lost link");
+                            assert_eq!(attempts, RecoveryPolicy::default().max_retries);
+                        }
+                        ref other => panic!("expected CircuitOpen, got {other}"),
+                    }
+                    assert_eq!(e.stage(), "reconnect supervisor");
+                    // The run burned the whole retry budget before giving
+                    // up, never reconnecting across an unhealed cut.
+                    assert_eq!(o.reconnects_ok(), 0);
+                    assert!(
+                        o.reconnects_failed() >= u64::from(RecoveryPolicy::default().max_retries)
+                    );
+                    // The cut is ledgered exactly once, as non-degrading
+                    // (no heal scheduled: the outage is permanent).
                     let cuts: Vec<FaultRecord> = o
                         .fault_ledger()
                         .records()
@@ -217,13 +236,13 @@ fn link_cut_aborts_with_an_unrecoverable_error_at_a_nearrt_stage() {
                 }
             }
         }
-        panic!("link cut never surfaced for {link:?}");
+        panic!("open circuit never surfaced for {link:?}");
     };
     for link in [LinkId::A1, LinkId::E2] {
         let first = run(link);
         assert!(first.0 > 0, "a 40-op budget must survive period 0");
-        // Fully deterministic: the cut fires at the same period, stage
-        // and message on a rerun.
+        // Fully deterministic: the circuit opens at the same period with
+        // the same message on a rerun.
         assert_eq!(first, run(link));
     }
 }
@@ -254,17 +273,34 @@ fn recoverable_faults_never_surface_as_errors() {
     assert!(!o.fault_ledger().is_empty());
 }
 
-/// `OrchestratorError` helpers used by callers to route recovery.
+/// `OrchestratorError` helpers used by callers to route recovery: a
+/// `ControlPlane` wrapper carries its source and classifies along both
+/// axes; a `CircuitOpen` verdict is terminal on both.
 #[test]
 fn orchestrator_error_classification_is_consistent() {
     let cut = ChaosConfig::disabled().with_cut(LinkId::E2, 10);
-    let mut o = build(23, cut);
+    let mut o =
+        build(23, cut).with_recovery(RecoveryPolicy::default().with_fallback(FallbackMode::Off));
     let err = loop {
         match o.try_step() {
             Ok(_) => {}
-            Err(e @ OrchestratorError::ControlPlane { .. }) => break e,
+            Err(e) => break e,
         }
     };
-    assert!(!err.is_recoverable());
-    assert!(std::error::Error::source(&err).is_some());
+    match err {
+        OrchestratorError::CircuitOpen { .. } => {
+            assert!(!err.is_recoverable());
+            assert!(!err.is_session_fatal());
+            assert!(std::error::Error::source(&err).is_none(), "the verdict has no source");
+        }
+        ref other => panic!("fallback off must end in CircuitOpen, got {other}"),
+    }
+    // The wrapper variant keeps carrying its source and both axes.
+    let wrapped = OrchestratorError::ControlPlane {
+        stage: "near-RT poll (A1->E2)",
+        source: edgebol_oran::OranError::ChannelClosed("chaos: E2 link cut"),
+    };
+    assert!(!wrapped.is_recoverable());
+    assert!(wrapped.is_session_fatal());
+    assert!(std::error::Error::source(&wrapped).is_some());
 }

@@ -24,7 +24,7 @@ use edgebol_core::orchestrator::Orchestrator;
 use edgebol_core::problem::ProblemSpec;
 use edgebol_core::trace::Trace;
 use edgebol_metrics::{MetricValue, Registry, Snapshot};
-use edgebol_oran::{ChaosConfig, FaultKind, LinkId};
+use edgebol_oran::{ChaosConfig, FallbackMode, FaultKind, LinkId, RecoveryPolicy};
 use edgebol_testbed::{Calibration, FlowTestbed, Scenario};
 
 /// Seed offset for the CI chaos-stress loop (defaults to 0).
@@ -142,8 +142,10 @@ fn chaos_fault_counters_equal_ledger_totals() {
 fn link_cut_is_counted_once_and_lands_in_the_error_counter() {
     let reg = Registry::new();
     let chaos = ChaosConfig::disabled().with_cut(LinkId::E2, 25 + seed_offset() % 10);
-    let mut o = build(2 + seed_offset(), chaos, reg.clone());
-    let err = o.try_run(200).expect_err("a scheduled cut must surface");
+    let mut o = build(2 + seed_offset(), chaos, reg.clone())
+        .with_recovery(RecoveryPolicy::default().with_fallback(FallbackMode::Off));
+    let err = o.try_run(200).expect_err("a cut with fallback disabled must surface");
+    assert_eq!(err.stage(), "reconnect supervisor");
     let snap = reg.snapshot();
     assert_eq!(
         snap.counter("edgebol_oran_faults_total{kind=\"link_cut\",link=\"E2\"}"),
@@ -152,9 +154,20 @@ fn link_cut_is_counted_once_and_lands_in_the_error_counter() {
     );
     let key = format!("edgebol_core_control_plane_errors_total{{stage=\"{}\"}}", err.stage());
     assert_eq!(snap.counter(&key), Some(1), "{key}");
+    // Every resync attempt against the dead link is a counted failure,
+    // no reconnect ever succeeds, and the circuit gauge ends latched
+    // open (2) after some local-autonomy periods.
+    assert_eq!(
+        snap.counter("edgebol_oran_reconnects_total{link=\"E2\",outcome=\"failed\"}"),
+        Some(u64::from(RecoveryPolicy::default().max_retries)),
+    );
+    // Pre-registered by the supervisor's handle resolution, never hit.
+    assert_eq!(snap.counter("edgebol_oran_reconnects_total{link=\"E2\",outcome=\"ok\"}"), Some(0));
+    assert_eq!(snap.gauge("edgebol_oran_circuit_state"), Some(2.0));
+    assert!(snap.counter("edgebol_core_local_autonomy_periods_total").unwrap_or(0) > 0);
     // Completed periods were counted; the aborted one was not.
     let completed = snap.counter("edgebol_core_periods_total").unwrap();
-    assert!(completed < 200, "the cut must abort the run early");
+    assert!(completed < 200, "the open circuit must abort the run early");
 }
 
 #[test]

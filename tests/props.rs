@@ -277,6 +277,54 @@ proptest! {
         prop_assert_eq!(l1, l2);
     }
 
+    /// Survivability safety net: a short episode under ANY cut/heal
+    /// schedule on either link never panics, completes every period
+    /// under the default sticky fallback, and reproduces bit-exactly —
+    /// trace, supervisor counters and fault ledger alike.
+    #[test]
+    fn cut_heal_schedules_never_abort_and_are_deterministic(
+        cut_at in 1u64..150,
+        heal_raw in 0u64..80,
+        on_e2 in any::<bool>(),
+    ) {
+        // 0 encodes "never heals" (the vendored proptest has no Option
+        // strategy); positive values are the heal window in operations.
+        let heal = (heal_raw > 0).then_some(heal_raw);
+        let link = if on_e2 { LinkId::E2 } else { LinkId::A1 };
+        let run = || {
+            let spec = ProblemSpec::new(1.0, 8.0, 0.5, 0.4);
+            let env = FlowTestbed::new(Calibration::fast(), Scenario::recovery_suite(), 12);
+            let agent = EdgeBolAgent::quick_for_tests(&spec, 12);
+            let mut cfg = ChaosConfig::disabled().with_cut(link, cut_at);
+            if let Some(h) = heal {
+                cfg = cfg.with_heal(h);
+            }
+            let mut o = Orchestrator::new_with_chaos(Box::new(env), Box::new(agent), spec, cfg)
+                .expect("setup is pre-arm");
+            let trace = o.try_run(20).expect("sticky fallback never aborts");
+            (
+                trace,
+                o.reconnects_ok(),
+                o.reconnects_failed(),
+                o.local_autonomy_periods(),
+                o.first_outage_period(),
+                o.fault_ledger().records(),
+            )
+        };
+        let r1 = run();
+        prop_assert_eq!(r1.0.len(), 20);
+        // An unhealed cut can never reconnect; a ledgered cut always
+        // marks the outage start.
+        if heal.is_none() {
+            prop_assert_eq!(r1.1, 0, "no resync across an unhealed cut");
+        }
+        if !r1.5.is_empty() {
+            prop_assert!(r1.4.is_some(), "a fired cut must open an outage window");
+        }
+        let r2 = run();
+        prop_assert_eq!(r1, r2);
+    }
+
     /// Higher resolution never reduces the steady-state transmission-bound
     /// delay (all else equal, single user).
     #[test]
