@@ -37,7 +37,19 @@ fn bench_linalg(c: &mut Criterion) {
 }
 
 fn trained_gp(n: usize) -> GaussianProcess {
-    let mut gp = GaussianProcess::new(Kernel::matern32(4.0, vec![0.4; 7]), 0.02);
+    fill_gp(GaussianProcess::new(Kernel::matern32(4.0, vec![0.4; 7]), 0.02), n)
+}
+
+/// A GP whose sliding window is exactly full: the next `observe` pays the
+/// evict + full-refactorization path, not just the bordered append.
+fn trained_gp_at_cap(cap: usize) -> GaussianProcess {
+    fill_gp(
+        GaussianProcess::new(Kernel::matern32(4.0, vec![0.4; 7]), 0.02).with_max_observations(cap),
+        cap,
+    )
+}
+
+fn fill_gp(mut gp: GaussianProcess, n: usize) -> GaussianProcess {
     let mut state = 1u64;
     let mut next = || {
         state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
@@ -60,6 +72,17 @@ fn bench_gp(c: &mut Criterion) {
     c.bench_function("gp_observe_T200", |b| {
         b.iter_with_setup(
             || trained_gp(200),
+            |mut gp| gp.observe(black_box(&[0.5; 7]), 1.0).unwrap(),
+        )
+    });
+    // The steady-state cost once the sliding window is full: every observe
+    // first evicts the oldest point (O(T²) kernel rebuild + O(T³/3) full
+    // re-factorization) and only then pays the O(T²) bordered append. This
+    // is the per-period GP budget of a long-running deployment, where
+    // `gp_observe_T200` above is only the warm-up-phase cost.
+    c.bench_function("gp_observe_evict_refactor_T200", |b| {
+        b.iter_with_setup(
+            || trained_gp_at_cap(200),
             |mut gp| gp.observe(black_box(&[0.5; 7]), 1.0).unwrap(),
         )
     });

@@ -13,7 +13,7 @@ use edgebol_core::orchestrator::{Orchestrator, OrchestratorError};
 use edgebol_core::problem::ProblemSpec;
 use edgebol_core::trace::Trace;
 use edgebol_metrics::Registry;
-use edgebol_oran::{ChaosConfig, FallbackMode, RecoveryPolicy};
+use edgebol_oran::{ChaosConfig, FallbackMode, RecoveryPolicy, TransportKind};
 use edgebol_testbed::Environment;
 use std::fmt::Write as _;
 use std::fs;
@@ -146,6 +146,28 @@ pub fn recovery_from_env() -> &'static RecoveryPolicy {
             eprintln!("[edgebol-bench] fallback disabled: an open circuit aborts the run");
         }
         RecoveryPolicy::default().with_fallback(mode)
+    })
+}
+
+/// The transport requested via the `EDGEBOL_TRANSPORT` environment
+/// variable: empty or `poll` → the in-process poll transport, `reactor`
+/// → reactor-managed framed TCP over loopback. The orchestrator itself
+/// honors the knob (its constructors resolve
+/// [`TransportKind::from_env`]); this helper exists so the harness can
+/// *report* the mode once per process, the way [`chaos_from_env`]
+/// reports an armed fault schedule — a comparison run whose transport
+/// differs silently would be a footgun.
+///
+/// # Panics
+/// Panics (once) on a malformed value, mirroring the other knobs.
+pub fn transport_from_env() -> TransportKind {
+    static KIND: OnceLock<TransportKind> = OnceLock::new();
+    *KIND.get_or_init(|| {
+        let kind = TransportKind::from_env();
+        if kind == TransportKind::Reactor {
+            eprintln!("[edgebol-bench] transport: reactor (nonblocking framed TCP over loopback)");
+        }
+        kind
     })
 }
 
@@ -395,6 +417,9 @@ pub fn try_run_once_with_chaos(
     schedule: Vec<(usize, f64, f64)>,
     chaos: ChaosConfig,
 ) -> Result<Trace, OrchestratorError> {
+    // Resolve (and report, once) the transport before construction: the
+    // orchestrator reads the same knob internally.
+    let _ = transport_from_env();
     let mut orch = Orchestrator::new_instrumented(env, agent, spec, chaos, metrics().clone())?
         .with_constraint_schedule(schedule)
         .with_recovery(*recovery_from_env());

@@ -65,9 +65,9 @@ use crate::problem::ProblemSpec;
 use crate::trace::{PeriodRecord, Trace};
 use edgebol_metrics::{Counter, Histogram, Registry};
 use edgebol_oran::{
-    duplex_pair, ChaosConfig, ChaosEndpoint, ChaosPlan, CircuitState, E2Node, FaultLedger,
-    KpiReport, LinkId, NearRtRic, NonRtRic, OranError, RadioPolicy, RecoveryAction, RecoveryPolicy,
-    RicEvent, Supervisor,
+    duplex_pair, AnyLink, ChaosConfig, ChaosEndpoint, ChaosPlan, CircuitState, E2Node, FaultLedger,
+    KpiReport, LinkId, NearRtRic, NonRtRic, OranError, RadioPolicy, Reactor, RecoveryAction,
+    RecoveryPolicy, RicEvent, Supervisor, TransportKind,
 };
 use edgebol_ran::Mcs;
 use edgebol_testbed::{ControlInput, Environment};
@@ -213,12 +213,17 @@ pub struct Orchestrator {
     env: Box<dyn Environment>,
     agent: Box<dyn Agent>,
     spec: ProblemSpec,
-    nonrt: NonRtRic,
+    nonrt: NonRtRic<AnyLink>,
     /// The xApp's two endpoints are chaos-wrapped (transparently, when
     /// the plan is disabled): every control-plane frame transits here, so
-    /// these two decorators cover all four fault lanes.
-    nearrt: NearRtRic<ChaosEndpoint, ChaosEndpoint>,
-    node: E2Node,
+    /// these two decorators cover all four fault lanes. The links
+    /// underneath are [`AnyLink`], so the same orchestrator type runs
+    /// over the in-process poll transport or the reactor-managed TCP
+    /// transport — which of the two is a construction-time choice.
+    nearrt: NearRtRic<ChaosEndpoint<AnyLink>, ChaosEndpoint<AnyLink>>,
+    node: E2Node<AnyLink>,
+    /// Which transport carries the A1/E2 links of this instance.
+    transport: TransportKind,
     /// The fault schedule in force (disarmed and empty for [`Orchestrator::new`]).
     chaos: ChaosPlan,
     /// The radio policy most recently enforced at the E2 node (written by
@@ -296,6 +301,11 @@ impl Orchestrator {
     /// per-kind fault counts. Passing [`Registry::disabled`] records
     /// nothing and is equivalent to [`Orchestrator::new_with_chaos`].
     ///
+    /// The transport is taken from the `EDGEBOL_TRANSPORT` env knob
+    /// ([`TransportKind::from_env`]), so the whole existing test and
+    /// bench surface can be rerun over the reactor without code changes;
+    /// [`Orchestrator::new_with_transport`] pins it explicitly.
+    ///
     /// # Errors
     /// [`OrchestratorError::ControlPlane`] when the (pre-chaos)
     /// subscription handshake fails.
@@ -306,9 +316,87 @@ impl Orchestrator {
         chaos: ChaosConfig,
         metrics: Registry,
     ) -> Result<Self, OrchestratorError> {
+        Self::new_with_transport(env, agent, spec, chaos, metrics, TransportKind::from_env())
+    }
+
+    /// An orchestrator whose A1/E2 links ride the non-blocking reactor
+    /// transport (framed TCP over loopback, multiplexed by a
+    /// [`Reactor`]) instead of the in-process poll transport — the
+    /// fleet-scale construction path. Equivalent to
+    /// [`Orchestrator::new_with_transport`] with
+    /// [`TransportKind::Reactor`], no chaos, no metrics.
+    ///
+    /// # Errors
+    /// [`OrchestratorError::ControlPlane`] when reactor setup (sockets,
+    /// readiness source) or the KPI-subscription handshake fails.
+    pub fn new_with_reactor(
+        env: Box<dyn Environment>,
+        agent: Box<dyn Agent>,
+        spec: ProblemSpec,
+    ) -> Result<Self, OrchestratorError> {
+        Self::new_with_transport(
+            env,
+            agent,
+            spec,
+            ChaosConfig::disabled(),
+            Registry::disabled(),
+            TransportKind::Reactor,
+        )
+    }
+
+    /// The general constructor: every other `new_*` resolves to this.
+    /// Builds the rApp → A1 → xApp → E2 → node chain over `transport`,
+    /// wraps the xApp's two links in the chaos plan, and completes the
+    /// KPI-subscription handshake before arming the plan. Because the
+    /// chaos op-clock counts operations *above* the transport and the
+    /// reactor's paired links deliver every sent frame before reporting
+    /// empty, a fixed-seed episode produces f64-bit-identical traces on
+    /// both transports (pinned by `tests/reactor.rs`).
+    ///
+    /// # Errors
+    /// [`OrchestratorError::ControlPlane`] when transport setup or the
+    /// (pre-chaos) subscription handshake fails.
+    pub fn new_with_transport(
+        env: Box<dyn Environment>,
+        agent: Box<dyn Agent>,
+        spec: ProblemSpec,
+        chaos: ChaosConfig,
+        metrics: Registry,
+        transport: TransportKind,
+    ) -> Result<Self, OrchestratorError> {
         let plan = ChaosPlan::new_instrumented(chaos, metrics.clone());
-        let (a1_up, a1_down) = duplex_pair();
-        let (e2_up, e2_down) = duplex_pair();
+        let (a1_up, a1_down, e2_up, e2_down) = match transport {
+            TransportKind::Poll => {
+                let (a1_up, a1_down) = duplex_pair();
+                let (e2_up, e2_down) = duplex_pair();
+                (a1_up.into(), a1_down.into(), e2_up.into(), e2_down.into())
+            }
+            TransportKind::Reactor => {
+                let r = at(
+                    "reactor setup",
+                    Reactor::new_instrumented(metrics.clone()).map_err(OranError::from),
+                )?;
+                let (a1_up, a1_down) = at("reactor pair (A1)", r.pair().map_err(OranError::from))?;
+                let (e2_up, e2_down) = at("reactor pair (E2)", r.pair().map_err(OranError::from))?;
+                (a1_up.into(), a1_down.into(), e2_up.into(), e2_down.into())
+            }
+        };
+        Self::assemble(env, agent, spec, plan, metrics, transport, a1_up, a1_down, e2_up, e2_down)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        env: Box<dyn Environment>,
+        agent: Box<dyn Agent>,
+        spec: ProblemSpec,
+        plan: ChaosPlan,
+        metrics: Registry,
+        transport: TransportKind,
+        a1_up: AnyLink,
+        a1_down: AnyLink,
+        e2_up: AnyLink,
+        e2_down: AnyLink,
+    ) -> Result<Self, OrchestratorError> {
         let enforced = Arc::new(Mutex::new(None));
         let applied_log = Arc::new(Mutex::new(Vec::new()));
         let period = Arc::new(AtomicUsize::new(0));
@@ -336,6 +424,7 @@ impl Orchestrator {
             nonrt,
             nearrt,
             node,
+            transport,
             chaos: plan,
             enforced,
             applied_log,
@@ -379,6 +468,11 @@ impl Orchestrator {
     /// The problem spec currently in force.
     pub fn spec(&self) -> &ProblemSpec {
         &self.spec
+    }
+
+    /// Which transport carries this instance's A1/E2 links.
+    pub fn transport(&self) -> TransportKind {
+        self.transport
     }
 
     /// How many control-plane interactions fell back to degraded mode
@@ -887,6 +981,19 @@ mod tests {
         fn assert_send<T: Send>() {}
         assert_send::<Orchestrator>();
         assert_send::<OrchestratorError>();
+    }
+
+    #[test]
+    fn reactor_transport_runs_the_same_loop() {
+        let spec = ProblemSpec::new(1.0, 8.0, 0.5, 0.4);
+        let env = FlowTestbed::new(Calibration::fast(), Scenario::single_user(35.0), 1);
+        let agent = EdgeBolAgent::quick_for_tests(&spec, 1);
+        let mut o = Orchestrator::new_with_reactor(Box::new(env), Box::new(agent), spec)
+            .expect("reactor setup");
+        assert_eq!(o.transport(), TransportKind::Reactor);
+        let trace = o.try_run(10).unwrap();
+        assert_eq!(trace.len(), 10);
+        assert_eq!(o.degraded_events(), 0, "loopback reactor links drop nothing");
     }
 
     #[test]

@@ -767,9 +767,10 @@ impl ChaosPlan {
         self.armed.load(Ordering::SeqCst)
     }
 
-    /// Wraps an in-process endpoint; all faults land in this plan's
-    /// ledger.
-    pub fn wrap(&self, inner: Endpoint, link: LinkId) -> ChaosEndpoint {
+    /// Wraps a [`Link`] (the in-process [`Endpoint`] or a
+    /// [`crate::reactor::ReactorLink`] — the pipeline is
+    /// transport-agnostic); all faults land in this plan's ledger.
+    pub fn wrap<L: Link>(&self, inner: L, link: LinkId) -> ChaosEndpoint<L> {
         let (tx_cfg, rx_cfg) = match link {
             LinkId::A1 => (self.cfg.a1_tx, self.cfg.a1_rx),
             LinkId::E2 => (self.cfg.e2_tx, self.cfg.e2_rx),
@@ -846,11 +847,15 @@ impl ChaosPlan {
     }
 }
 
-/// The fault-injecting decorator over [`Endpoint`]. Same [`Link`]
-/// contract; interior mutability keeps the `&self` signatures.
+/// The fault-injecting decorator over any [`Link`] (the in-process
+/// [`Endpoint`] by default). Same [`Link`] contract; interior mutability
+/// keeps the `&self` signatures. The op-denominated fault schedule is
+/// counted *above* the transport, which is why a fixed-seed chaos
+/// episode injects the identical fault sequence whether the wrapped link
+/// is an `Endpoint` or a reactor-managed TCP session.
 #[derive(Debug)]
-pub struct ChaosEndpoint {
-    inner: Endpoint,
+pub struct ChaosEndpoint<L: Link = Endpoint> {
+    inner: L,
     link: LinkId,
     armed: Arc<AtomicBool>,
     ledger: FaultLedger,
@@ -876,7 +881,7 @@ pub struct ChaosEndpoint {
     m_redelivered: Counter,
 }
 
-impl ChaosEndpoint {
+impl<L: Link> ChaosEndpoint<L> {
     fn record(&self, lane: &Lane, kind: FaultKind, payload: &[u8], detail: String) {
         self.ledger.push(FaultRecord {
             seq: 0,
@@ -1073,7 +1078,7 @@ impl ChaosEndpoint {
     }
 }
 
-impl Link for ChaosEndpoint {
+impl<L: Link> Link for ChaosEndpoint<L> {
     fn send(&self, msg: Bytes) -> Result<(), OranError> {
         ChaosEndpoint::send(self, msg)
     }

@@ -20,10 +20,17 @@
 //!   and a length-framed TCP transport (used by the networked example)
 //!   that follows the classic framing pattern of the Tokio tutorial, in
 //!   blocking form.
+//! * [`reactor`] — the fleet-scale transport: a zero-dependency
+//!   non-blocking readiness loop (epoll on Linux, a nonblocking sweep
+//!   elsewhere) multiplexing many framed-TCP sessions on one thread,
+//!   surfaced through the same [`transport::Link`] seam so the chaos and
+//!   recovery layers carry over unchanged.
 //! * [`ric`] — the actors: [`ric::NonRtRic`] (policy service + data
 //!   collector rApps), [`ric::NearRtRic`] (A1⇄E2 translation xApp) and
 //!   [`ric::E2Node`] (the O-eNB's E2 agent, applying policies through a
-//!   caller-provided hook and emitting KPI indications).
+//!   caller-provided hook and emitting KPI indications), plus
+//!   [`ric::RicServer`] — the multi-node accept loop pairing one reactor
+//!   with many E2 sessions.
 //!
 //! Everything is synchronous and poll-driven, hence deterministic and
 //! testable; the networked example wraps the same actors in threads.
@@ -31,6 +38,7 @@
 pub mod a1;
 pub mod chaos;
 pub mod e2;
+pub mod reactor;
 pub mod recovery;
 pub mod ric;
 pub mod transport;
@@ -41,9 +49,10 @@ pub use chaos::{
     FaultLedger, FaultRecord, LaneConfig, LinkId, MsgClass,
 };
 pub use e2::{E2Codec, E2Message, KpiReport};
+pub use reactor::{Reactor, ReactorBackend, ReactorLink, ReactorListener, Token};
 pub use recovery::{CircuitState, FallbackMode, RecoveryAction, RecoveryPolicy, Supervisor};
-pub use ric::{E2Node, NearRtRic, NonRtRic, RicEvent};
-pub use transport::{duplex_pair, Endpoint, FramedTcp, Link};
+pub use ric::{E2Node, NearRtRic, NonRtRic, RicEvent, RicServer};
+pub use transport::{duplex_pair, AnyLink, Endpoint, ErrorStash, FramedTcp, Link, TransportKind};
 
 /// Errors of the O-RAN layer, split by protocol layer so callers can
 /// route recovery: framing and codec errors mean a corrupt peer (drop

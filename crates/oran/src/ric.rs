@@ -8,9 +8,11 @@
 
 use crate::a1::{A1Message, PolicyId, PolicyStatus, RadioPolicy};
 use crate::e2::{E2Codec, E2Message, KpiReport, RAN_FUNC_KPI};
+use crate::reactor::{Reactor, ReactorLink, ReactorListener};
 use crate::transport::{Endpoint, Link};
 use crate::OranError;
 use bytes::{Bytes, BytesMut};
+use edgebol_metrics::{Counter, Gauge, Registry};
 use std::collections::HashMap;
 
 /// Events the non-RT RIC surfaces to the learning agent.
@@ -335,6 +337,182 @@ impl<L: Link> E2Node<L> {
     }
 }
 
+/// One E2 session the [`RicServer`] supervises: the reactor-managed link
+/// plus its protocol state (mirror of what [`NearRtRic`] tracks for its
+/// single node, kept per-session here).
+#[derive(Debug)]
+struct E2Session {
+    id: u64,
+    link: ReactorLink,
+    rx_buf: BytesMut,
+    subscribed: bool,
+}
+
+/// Aggregate outcome of one [`RicServer::poll`] round.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RicServerRound {
+    /// Connections accepted (and immediately subscribed) this round.
+    pub accepted: usize,
+    /// KPI indications decoded across all sessions this round.
+    pub kpis: usize,
+    /// Control acks decoded across all sessions this round.
+    pub acks: usize,
+    /// Sessions that died this round (peer hangup or fatal error).
+    pub closed: usize,
+}
+
+/// The multi-node near-RT RIC front end: one [`Reactor`] thread
+/// multiplexing every E2 session instead of one blocking pair per node.
+///
+/// E2 nodes connect to the bound address; each accepted session is
+/// KPI-subscribed on arrival, and [`RicServer::poll`] drives one reactor
+/// turn then drains every session's frames — decoding indications and
+/// acks, reaping dead sessions. Policies fan out with
+/// [`RicServer::broadcast_policy`]. All counters flow through
+/// [`edgebol_metrics`]; the 64-node CI smoke test and the N-node example
+/// read periods/sec off exactly these series.
+#[derive(Debug)]
+pub struct RicServer {
+    reactor: Reactor,
+    listener: ReactorListener,
+    sessions: Vec<E2Session>,
+    next_session_id: u64,
+    kpi_period_ms: u32,
+    m_periods: Counter,
+    m_kpis: Counter,
+    m_acks: Counter,
+    m_closed: Counter,
+    g_sessions: Gauge,
+}
+
+impl RicServer {
+    /// Binds the E2 accept socket on `addr` (use port 0 to let the OS
+    /// pick) over a dedicated reactor; `kpi_period_ms` is the report
+    /// period each new session is subscribed with.
+    ///
+    /// # Errors
+    /// [`OranError::Io`] when binding or reactor setup fails.
+    pub fn bind(addr: &str, kpi_period_ms: u32, metrics: Registry) -> Result<Self, OranError> {
+        let reactor = Reactor::new_instrumented(metrics.clone())?;
+        let listener = reactor.bind(addr)?;
+        Ok(RicServer {
+            reactor,
+            listener,
+            sessions: Vec::new(),
+            next_session_id: 0,
+            kpi_period_ms,
+            m_periods: metrics.counter("edgebol_oran_ricserver_periods_total"),
+            m_kpis: metrics.counter("edgebol_oran_ricserver_kpi_total"),
+            m_acks: metrics.counter("edgebol_oran_ricserver_acks_total"),
+            m_closed: metrics.counter("edgebol_oran_ricserver_sessions_closed_total"),
+            g_sessions: metrics.gauge("edgebol_oran_ricserver_sessions"),
+        })
+    }
+
+    /// The bound accept address.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.listener.local_addr()
+    }
+
+    /// Live E2 sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// The reactor multiplexing this server's sessions (shared handle —
+    /// e.g. to co-register client-side links in single-process tests).
+    pub fn reactor(&self) -> &Reactor {
+        &self.reactor
+    }
+
+    /// One server round: drive a reactor turn (flush + readiness +
+    /// reads), claim newly accepted sessions and subscribe them to KPIs,
+    /// then drain and decode every session's inbound frames. Sessions
+    /// whose link died are reaped (their queued traffic was drained
+    /// first — the [`Link::drain`] contract). Never blocks longer than
+    /// `timeout_ms` in the readiness wait.
+    pub fn poll(&mut self, timeout_ms: u32) -> RicServerRound {
+        self.m_periods.inc();
+        self.reactor.turn(timeout_ms);
+        let mut round = RicServerRound::default();
+        while let Some(link) = self.listener.accept() {
+            let sub = E2Message::SubscriptionRequest {
+                ran_function: RAN_FUNC_KPI,
+                report_period_ms: self.kpi_period_ms,
+            };
+            if link.send(E2Codec::encode_to_bytes(&sub)).is_ok() {
+                let id = self.next_session_id;
+                self.next_session_id += 1;
+                self.sessions.push(E2Session {
+                    id,
+                    link,
+                    rx_buf: BytesMut::new(),
+                    subscribed: false,
+                });
+                round.accepted += 1;
+            }
+        }
+        let mut dead = Vec::new();
+        for s in &mut self.sessions {
+            let mut session_dead = false;
+            loop {
+                match s.link.try_recv() {
+                    Ok(Some(raw)) => s.rx_buf.extend_from_slice(&raw),
+                    Ok(None) => break,
+                    Err(_) => {
+                        session_dead = true;
+                        break;
+                    }
+                }
+            }
+            loop {
+                match E2Codec::decode(&mut s.rx_buf) {
+                    Ok(Some(E2Message::SubscriptionResponse { .. })) => s.subscribed = true,
+                    Ok(Some(E2Message::Indication(_))) => round.kpis += 1,
+                    Ok(Some(E2Message::ControlAck)) => round.acks += 1,
+                    // Messages only a RIC sends (requests) arriving here
+                    // mean a confused peer: drop the frame, keep the
+                    // session — message damage is not session-fatal.
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                    Err(_) => {
+                        session_dead = true;
+                        break;
+                    }
+                }
+            }
+            if session_dead {
+                dead.push(s.id);
+            }
+        }
+        round.closed = dead.len();
+        self.sessions.retain(|s| !dead.contains(&s.id));
+        self.m_kpis.add(round.kpis as u64);
+        self.m_acks.add(round.acks as u64);
+        self.m_closed.add(round.closed as u64);
+        self.g_sessions.set(self.sessions.len() as f64);
+        round
+    }
+
+    /// Fans one radio policy out to every live session as an E2
+    /// `ControlRequest`. Returns how many sessions it reached; sessions
+    /// whose send fails are left for the next [`RicServer::poll`] to
+    /// reap (their inbound side will report the close).
+    pub fn broadcast_policy(&mut self, policy: RadioPolicy) -> usize {
+        let ctrl = E2Message::ControlRequest {
+            airtime_milli: (policy.airtime * 1000.0).round() as u16,
+            max_mcs: policy.max_mcs,
+        };
+        let frame = E2Codec::encode_to_bytes(&ctrl);
+        self.sessions.iter().filter(|s| s.link.send(frame.clone()).is_ok()).count()
+    }
+
+    /// Sessions that completed the KPI subscription handshake.
+    pub fn subscribed_count(&self) -> usize {
+        self.sessions.iter().filter(|s| s.subscribed).count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -476,5 +654,79 @@ mod tests {
         let a = nonrt.put_policy(RadioPolicy { airtime: 0.1, max_mcs: 1 }).unwrap();
         let b = nonrt.put_policy(RadioPolicy { airtime: 0.2, max_mcs: 2 }).unwrap();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ric_server_multiplexes_many_nodes_on_one_thread() {
+        use crate::transport::FramedTcp;
+        use std::time::{Duration, Instant};
+
+        const NODES: usize = 8;
+        let reg = Registry::new();
+        let mut server = RicServer::bind("127.0.0.1:0", 1_000, reg.clone()).expect("bind");
+        let addr = server.local_addr().to_string();
+
+        // Each "node" is a blocking client thread speaking framed E2:
+        // answer the subscription, emit one KPI, ack one control request.
+        let handles: Vec<_> = (0..NODES)
+            .map(|i| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let mut tcp = FramedTcp::connect(&addr).expect("connect");
+                    let mut buf = BytesMut::new();
+                    buf.extend_from_slice(&tcp.recv().expect("sub req"));
+                    match E2Codec::decode(&mut buf).expect("decode") {
+                        Some(E2Message::SubscriptionRequest { ran_function, .. }) => {
+                            let resp = E2Message::SubscriptionResponse { ran_function };
+                            tcp.send(&E2Codec::encode_to_bytes(&resp)).expect("sub resp");
+                        }
+                        other => panic!("node {i}: expected subscription, got {other:?}"),
+                    }
+                    let kpi = E2Message::Indication(KpiReport {
+                        t_ms: i as u64,
+                        bs_power_mw: 5_000 + i as u64,
+                        duty_milli: 500,
+                        mean_mcs_centi: 2_000,
+                    });
+                    tcp.send(&E2Codec::encode_to_bytes(&kpi)).expect("kpi");
+                    buf.extend_from_slice(&tcp.recv().expect("ctrl"));
+                    match E2Codec::decode(&mut buf).expect("decode ctrl") {
+                        Some(E2Message::ControlRequest { .. }) => {
+                            tcp.send(&E2Codec::encode_to_bytes(&E2Message::ControlAck))
+                                .expect("ack");
+                        }
+                        other => panic!("node {i}: expected control, got {other:?}"),
+                    }
+                })
+            })
+            .collect();
+
+        // One thread (this one) drives every session through the server.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut kpis = 0;
+        while server.subscribed_count() < NODES || kpis < NODES {
+            let round = server.poll(1);
+            kpis += round.kpis;
+            assert!(Instant::now() < deadline, "handshake stalled: {kpis} kpis");
+        }
+        assert_eq!(server.session_count(), NODES);
+        assert_eq!(
+            server.broadcast_policy(RadioPolicy { airtime: 0.5, max_mcs: 20 }),
+            NODES,
+            "policy must fan out to every session"
+        );
+        let mut acks = 0;
+        while acks < NODES {
+            acks += server.poll(1).acks;
+            assert!(Instant::now() < deadline, "acks stalled: {acks}/{NODES}");
+        }
+        for h in handles {
+            h.join().expect("node thread");
+        }
+        // Metrics flowed through the shared registry.
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("edgebol_oran_ricserver_kpi_total"), Some(NODES as u64));
+        assert_eq!(snap.counter("edgebol_oran_ricserver_acks_total"), Some(NODES as u64));
+        assert!(snap.counter("edgebol_oran_ricserver_periods_total").unwrap_or(0) > 0);
     }
 }

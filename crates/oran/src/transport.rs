@@ -12,6 +12,42 @@ use std::sync::{Arc, Mutex, PoisonError};
 /// corrupt or hostile peer, not a real control-plane message.
 pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
 
+/// A parked terminal error, waiting for the next receive call.
+///
+/// [`Link::drain`] promises "queued traffic drains first, the close
+/// surfaces on the *next* call". Links whose errors self-persist (a
+/// dropped [`Endpoint`] peer re-derives `ChannelClosed` on every
+/// `try_recv`; a [`crate::reactor::ReactorLink`] reproduces its terminal
+/// stream error from the stored close reason) keep that promise for
+/// free. Links whose terminal error is observed *once* — and would
+/// otherwise be discarded by a drain that already collected messages —
+/// park it here so the next receive can surface it with the kind intact.
+#[derive(Debug, Default)]
+pub struct ErrorStash(Mutex<Option<OranError>>);
+
+impl ErrorStash {
+    /// Creates an empty stash.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parks `e` for the next receive call. A stash holds one error —
+    /// the first one wins, matching "the close surfaces on the next
+    /// call" (a second terminal error on an already-dead link adds no
+    /// information).
+    pub fn put(&self, e: OranError) {
+        let mut slot = self.0.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+
+    /// Takes the parked error, if any.
+    pub fn take(&self) -> Option<OranError> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner).take()
+    }
+}
+
 /// A message-oriented duplex link, as the RIC actors see it.
 ///
 /// [`Endpoint`] is the plain in-process implementation;
@@ -33,24 +69,51 @@ pub trait Link: Send {
     /// [`OranError::ChannelClosed`] when the link is down and drained.
     fn try_recv(&self) -> Result<Option<Bytes>, OranError>;
 
+    /// The link's parked-error slot, when it has one.
+    ///
+    /// The default [`Link::drain`] uses this to keep the terminal error
+    /// *kind* across the "queued traffic first" deferral: an error hit
+    /// after messages were already collected is parked here and
+    /// surfaced — with its kind intact — by the next `drain`. Links
+    /// whose terminal errors self-persist (every `try_recv` on a dead
+    /// [`Endpoint`] or [`crate::reactor::ReactorLink`] re-derives the
+    /// same error) may return `None`, the default: for them the next
+    /// call reproduces the error without help.
+    fn error_stash(&self) -> Option<&ErrorStash> {
+        None
+    }
+
     /// Drains all pending messages.
     ///
     /// Already-queued traffic always comes out: when the peer is gone but
     /// messages were collected first, those messages are returned and the
-    /// close surfaces on the *next* call.
+    /// close surfaces on the *next* call — with its original kind, via
+    /// [`Link::error_stash`] when the link provides one (an `Io` close
+    /// must not resurface as a generic silence or a different kind).
     ///
     /// # Errors
-    /// [`OranError::ChannelClosed`] when the link is down and nothing was
-    /// pending — a closed-then-drained link must report, not read as
-    /// silently empty.
+    /// [`OranError::ChannelClosed`] (or the stashed terminal error) when
+    /// the link is down and nothing was pending — a closed-then-drained
+    /// link must report, not read as silently empty.
     fn drain(&self) -> Result<Vec<Bytes>, OranError> {
+        if let Some(e) = self.error_stash().and_then(ErrorStash::take) {
+            return Err(e);
+        }
         let mut out = Vec::new();
         loop {
             match self.try_recv() {
                 Ok(Some(m)) => out.push(m),
                 Ok(None) => return Ok(out),
                 Err(e) if out.is_empty() => return Err(e),
-                Err(_) => return Ok(out),
+                Err(e) => {
+                    // Deferred close: hand the messages over now, park
+                    // the error so the next call reports *this* error,
+                    // not whatever the link re-derives (or nothing).
+                    if let Some(stash) = self.error_stash() {
+                        stash.put(e);
+                    }
+                    return Ok(out);
+                }
             }
         }
     }
@@ -168,6 +231,91 @@ impl Drop for Endpoint {
     fn drop(&mut self) {
         self.out.senders.fetch_sub(1, Ordering::SeqCst);
         self.inc.receivers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Which transport carries the orchestrator's A1/E2 links.
+///
+/// Selected per-construction (`Orchestrator::new_with_transport`) or
+/// fleet-wide via the `EDGEBOL_TRANSPORT` env knob; both paths build the
+/// same actors over [`AnyLink`], and `tests/reactor.rs` pins that a
+/// fixed-seed episode is f64-bit-identical across the two kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// In-process mutex-guarded queues ([`duplex_pair`]) — the seed
+    /// transport, zero syscalls.
+    #[default]
+    Poll,
+    /// Reactor-managed nonblocking framed TCP over loopback
+    /// ([`crate::reactor::Reactor::pair`]) — the fleet-scale transport.
+    Reactor,
+}
+
+impl TransportKind {
+    /// Reads the `EDGEBOL_TRANSPORT` knob: `poll` (default) | `reactor`.
+    ///
+    /// # Panics
+    /// Panics on any other value — a misspelled transport must not
+    /// silently fall back and invalidate a comparison run.
+    pub fn from_env() -> Self {
+        match std::env::var("EDGEBOL_TRANSPORT").as_deref() {
+            Err(_) | Ok("") | Ok("poll") => TransportKind::Poll,
+            Ok("reactor") => TransportKind::Reactor,
+            Ok(other) => {
+                panic!("invalid EDGEBOL_TRANSPORT value {other:?}: expected poll or reactor")
+            }
+        }
+    }
+}
+
+/// A [`Link`] over either transport, so the orchestrator's actors are
+/// monomorphic regardless of which transport the episode runs on — the
+/// same types run the poll-driven seed path and the reactor path, which
+/// is what makes the bit-identity comparison meaningful.
+#[derive(Debug)]
+pub enum AnyLink {
+    /// An in-process [`Endpoint`] half.
+    InProc(Endpoint),
+    /// A reactor-managed framed-TCP link.
+    Reactor(crate::reactor::ReactorLink),
+}
+
+impl Link for AnyLink {
+    fn send(&self, msg: Bytes) -> Result<(), OranError> {
+        match self {
+            AnyLink::InProc(l) => l.send(msg),
+            AnyLink::Reactor(l) => l.send(msg),
+        }
+    }
+
+    fn try_recv(&self) -> Result<Option<Bytes>, OranError> {
+        match self {
+            AnyLink::InProc(l) => l.try_recv(),
+            AnyLink::Reactor(l) => l.try_recv(),
+        }
+    }
+}
+
+impl AnyLink {
+    /// Drains all pending messages — [`Link::drain`] semantics.
+    ///
+    /// # Errors
+    /// [`OranError::ChannelClosed`] when the link is down and nothing
+    /// was pending.
+    pub fn drain(&self) -> Result<Vec<Bytes>, OranError> {
+        Link::drain(self)
+    }
+}
+
+impl From<Endpoint> for AnyLink {
+    fn from(e: Endpoint) -> Self {
+        AnyLink::InProc(e)
+    }
+}
+
+impl From<crate::reactor::ReactorLink> for AnyLink {
+    fn from(l: crate::reactor::ReactorLink) -> Self {
+        AnyLink::Reactor(l)
     }
 }
 
@@ -339,6 +487,91 @@ mod tests {
         let (a, b) = duplex_pair();
         drop(a);
         assert!(matches!(b.drain(), Err(OranError::ChannelClosed(_))));
+    }
+
+    /// A link whose terminal error is observed exactly once: two queued
+    /// messages, then one `Io` error, then silence. Models a transport
+    /// (unlike `Endpoint`) that cannot re-derive its close reason — the
+    /// case the `error_stash` mechanism exists for.
+    struct OneShotErrorLink {
+        script: Mutex<VecDeque<Result<Option<Bytes>, OranError>>>,
+        stash: ErrorStash,
+    }
+
+    impl OneShotErrorLink {
+        fn new() -> Self {
+            let mut script = VecDeque::new();
+            script.push_back(Ok(Some(Bytes::from_static(b"one"))));
+            script.push_back(Ok(Some(Bytes::from_static(b"two"))));
+            script.push_back(Err(OranError::Io(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "reset by peer",
+            ))));
+            OneShotErrorLink { script: Mutex::new(script), stash: ErrorStash::new() }
+        }
+    }
+
+    impl Link for OneShotErrorLink {
+        fn send(&self, _msg: Bytes) -> Result<(), OranError> {
+            Ok(())
+        }
+
+        fn try_recv(&self) -> Result<Option<Bytes>, OranError> {
+            self.script
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_front()
+                .unwrap_or(Ok(None))
+        }
+
+        fn error_stash(&self) -> Option<&ErrorStash> {
+            Some(&self.stash)
+        }
+    }
+
+    #[test]
+    fn drain_preserves_terminal_error_kind_across_the_deferral() {
+        // Regression: the old default drain mapped `Err(_)` after
+        // collected messages to `Ok(out)` and *discarded the error*. On
+        // a link that can't re-derive it, the Io close vanished — later
+        // drains read as silently empty. The stash keeps the kind.
+        let link = OneShotErrorLink::new();
+        let first = link.drain().unwrap();
+        assert_eq!(first, vec![Bytes::from_static(b"one"), Bytes::from_static(b"two")]);
+        match link.drain() {
+            Err(OranError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::ConnectionReset, "kind must survive");
+            }
+            other => panic!("expected the stashed Io error, got {other:?}"),
+        }
+        // The stash holds one error: once surfaced, the link reads as a
+        // quiet (scripted-empty) link again.
+        assert_eq!(link.drain().unwrap(), Vec::<Bytes>::new());
+    }
+
+    #[test]
+    fn stash_first_error_wins() {
+        let stash = ErrorStash::new();
+        stash.put(OranError::ChannelClosed("first"));
+        stash.put(OranError::Handshake("second".into()));
+        assert!(matches!(stash.take(), Some(OranError::ChannelClosed("first"))));
+        assert!(stash.take().is_none());
+    }
+
+    #[test]
+    fn transport_kind_default_is_poll() {
+        assert_eq!(TransportKind::default(), TransportKind::Poll);
+    }
+
+    #[test]
+    fn any_link_wraps_endpoints_transparently() {
+        let (a, b) = duplex_pair();
+        let (a, b) = (AnyLink::from(a), AnyLink::from(b));
+        a.send(Bytes::from_static(b"via any")).unwrap();
+        assert_eq!(b.try_recv().unwrap().unwrap(), Bytes::from_static(b"via any"));
+        assert!(b.try_recv().unwrap().is_none());
+        drop(a);
+        assert!(matches!(b.try_recv(), Err(OranError::ChannelClosed(_))));
     }
 
     #[test]

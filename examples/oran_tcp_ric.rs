@@ -1,128 +1,158 @@
-//! O-RAN control plane over real TCP sockets.
+//! Multi-node O-RAN control plane over real TCP sockets.
 //!
 //! ```text
-//! cargo run --example oran_tcp_ric
+//! cargo run --release --example oran_tcp_ric
+//! EDGEBOL_NODES=128 EDGEBOL_ROUNDS=20 cargo run --release --example oran_tcp_ric
 //! ```
 //!
-//! Splits the Fig. 7 architecture across two threads connected by a
-//! length-framed TCP transport on localhost: the "RIC side" (non-RT RIC
-//! rApps + near-RT RIC xApps) and the "cell site" (O-eNB E2 agent in
-//! front of the MAC scheduler). A1 policy JSON and binary E2 frames cross
-//! the socket exactly as the in-process orchestration uses them —
-//! demonstrating that the control plane is transport-agnostic.
+//! The Fig. 7 architecture at fleet scale: one [`RicServer`] — a single
+//! reactor thread — terminates the E2 interface for `EDGEBOL_NODES`
+//! O-eNB agents, each a blocking client thread speaking length-framed E2
+//! over its own localhost socket. Every node completes the KPI
+//! subscription handshake, then for `EDGEBOL_ROUNDS` rounds the server
+//! broadcasts a radio policy to the whole fleet and collects one KPI
+//! indication plus one control ack per node per round. Throughput is
+//! read off the `edgebol-metrics` registry at the end (the numbers in
+//! EXPERIMENTS.md §reactor come from exactly this binary).
+//!
+//! Knobs:
+//!
+//! * `EDGEBOL_NODES`  — fleet size (default 64).
+//! * `EDGEBOL_ROUNDS` — policy/KPI rounds after the handshake (default 10).
+//! * `EDGEBOL_REACTOR_BACKEND` — `epoll` (Linux default) or `sweep`.
 
-use bytes::Bytes;
-use edgebol_oran::{
-    duplex_pair, E2Codec, E2Message, E2Node, FramedTcp, KpiReport, NearRtRic, NonRtRic,
-    RadioPolicy, RicEvent,
-};
-use std::net::TcpListener;
+use bytes::BytesMut;
+use edgebol_metrics::Registry;
+use edgebol_oran::{E2Codec, E2Message, FramedTcp, KpiReport, RadioPolicy, RicServer};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+fn knob(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Ok(v) => v.parse().unwrap_or_else(|_| panic!("{name} must be a positive integer: {v:?}")),
+        Err(_) => default,
+    }
+}
+
+/// One O-eNB agent: handshake, then per round send a KPI indication and
+/// ack the broadcast policy. Runs on its own blocking thread.
+fn cell_site(addr: String, node: usize, rounds: usize) {
+    let mut tcp = FramedTcp::connect(&addr).expect("connect to RIC");
+    let mut buf = BytesMut::new();
+    let recv_msg = |tcp: &mut FramedTcp, buf: &mut BytesMut| -> E2Message {
+        loop {
+            if let Some(msg) = E2Codec::decode(buf).expect("decode") {
+                return msg;
+            }
+            buf.extend_from_slice(&tcp.recv().expect("recv"));
+        }
+    };
+    match recv_msg(&mut tcp, &mut buf) {
+        E2Message::SubscriptionRequest { ran_function, .. } => {
+            let resp = E2Message::SubscriptionResponse { ran_function };
+            tcp.send(&E2Codec::encode_to_bytes(&resp)).expect("sub resp");
+        }
+        other => panic!("node {node}: expected subscription, got {other:?}"),
+    }
+    for round in 0..rounds {
+        match recv_msg(&mut tcp, &mut buf) {
+            E2Message::ControlRequest { .. } => {
+                tcp.send(&E2Codec::encode_to_bytes(&E2Message::ControlAck)).expect("ack");
+            }
+            other => panic!("node {node}: expected control, got {other:?}"),
+        }
+        let kpi = E2Message::Indication(KpiReport {
+            t_ms: (round * 1_000) as u64,
+            bs_power_mw: 5_000 + node as u64,
+            duty_milli: 450,
+            mean_mcs_centi: 2_600,
+        });
+        tcp.send(&E2Codec::encode_to_bytes(&kpi)).expect("kpi");
+    }
+}
 
 fn main() {
-    let listener = TcpListener::bind("127.0.0.1:0").expect("bind E2 endpoint");
-    let addr = listener.local_addr().expect("local addr");
-    println!("E2-over-TCP listening on {addr}");
+    let nodes = knob("EDGEBOL_NODES", 64);
+    let rounds = knob("EDGEBOL_ROUNDS", 10);
 
-    // ---- Cell site thread: terminates E2, applies policies to the MAC. --
-    let cell = thread::spawn(move || {
-        let (stream, peer) = listener.accept().expect("accept RIC connection");
-        println!("[cell] RIC connected from {peer}");
-        let mut tcp = FramedTcp::new(stream);
-        // Bridge: socket <-> in-process endpoint for the E2Node actor.
-        let (wire, node_ep) = duplex_pair();
-        let mut node = E2Node::new(
-            node_ep,
-            Box::new(|p: RadioPolicy| {
-                println!(
-                    "[cell] MAC reconfigured: airtime {:.1}%, MCS cap {}",
-                    p.airtime * 100.0,
-                    p.max_mcs
-                );
-            }),
-        );
-        // Serve a few control rounds, then emit KPI indications.
-        for round in 0..4 {
-            let frame = tcp.recv().expect("recv E2 frame");
-            wire.send(frame).expect("bridge in");
-            node.poll().expect("node poll");
-            // Flush everything the node produced back onto the socket.
-            for out in wire.drain().expect("drain bridge") {
-                tcp.send(&out).expect("send E2 frame");
-            }
-            if round > 0 {
-                // Periodic KPI indication (the power-meter sample path).
-                node.indicate(KpiReport {
-                    t_ms: round * 1_000,
-                    bs_power_mw: 5_250 + round * 10,
-                    duty_milli: 400,
-                    mean_mcs_centi: 2_650,
-                })
-                .expect("indicate");
-                for out in wire.drain().expect("drain bridge") {
-                    tcp.send(&out).expect("send KPI frame");
-                }
-            }
-        }
-        println!("[cell] done");
-    });
+    let reg = Registry::new();
+    let mut server = RicServer::bind("127.0.0.1:0", 1_000, reg.clone()).expect("bind E2 endpoint");
+    let addr = server.local_addr().to_string();
+    println!(
+        "E2-over-TCP listening on {addr} ({:?} backend): {nodes} nodes x {rounds} rounds",
+        server.reactor().backend()
+    );
 
-    // ---- RIC side: non-RT RIC + near-RT RIC over the socket. -----------
-    thread::sleep(Duration::from_millis(50));
-    let mut tcp = FramedTcp::connect(&addr.to_string()).expect("connect");
-    let (a1_up, a1_down) = duplex_pair();
-    let (e2_up, e2_wire) = duplex_pair();
-    let mut nonrt = NonRtRic::new(a1_up);
-    let mut nearrt = NearRtRic::new(a1_down, e2_up);
+    let handles: Vec<_> = (0..nodes)
+        .map(|i| {
+            let addr = addr.clone();
+            thread::spawn(move || cell_site(addr, i, rounds))
+        })
+        .collect();
 
-    nearrt.subscribe_kpis(1_000).expect("subscribe");
-    let policies = [
-        RadioPolicy { airtime: 1.0, max_mcs: 28 },
-        RadioPolicy { airtime: 0.6, max_mcs: 22 },
-        RadioPolicy { airtime: 0.35, max_mcs: 17 },
-    ];
-    let mut next_policy = 0;
-    for _round in 0..4 {
-        if next_policy < policies.len() {
-            let id = nonrt.put_policy(policies[next_policy]).expect("put policy");
-            println!(
-                "[ric ] deploying {:?}: airtime {:.0}%, MCS cap {}",
-                id,
-                policies[next_policy].airtime * 100.0,
-                policies[next_policy].max_mcs
-            );
-            next_policy += 1;
-        }
-        nearrt.poll().expect("nearrt poll");
-        // Ship pending E2 frames over the socket, read the response.
-        for frame in e2_wire.drain().expect("drain e2 wire") {
-            tcp.send(&frame).expect("send");
-        }
-        let reply = tcp.recv().expect("recv");
-        e2_wire.send(reply).expect("bridge");
-        // Socket may carry an extra KPI frame; peek with the codec.
-        let mut probe = bytes::BytesMut::new();
-        if next_policy > 1 {
-            if let Ok(extra) = tcp.recv() {
-                probe.extend_from_slice(&extra);
-                if let Ok(Some(E2Message::Indication(_))) = E2Codec::decode(&mut probe.clone()) {
-                    e2_wire.send(Bytes::copy_from_slice(&extra)).expect("bridge KPI");
-                }
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs(120);
+    let overdue = || {
+        assert!(Instant::now() < deadline, "fleet stalled — see session counters");
+    };
+
+    // Phase 1: the whole fleet connects and completes the KPI handshake.
+    while server.subscribed_count() < nodes {
+        server.poll(1);
+        overdue();
+    }
+    let handshake = started.elapsed();
+    println!(
+        "[ric ] {} sessions subscribed on one reactor thread in {:.3}s",
+        server.session_count(),
+        handshake.as_secs_f64()
+    );
+    assert_eq!(server.session_count(), nodes, "every node holds a live session");
+
+    // Phase 2: broadcast a policy per round, collect one KPI + one ack
+    // per node per round.
+    let policies =
+        [RadioPolicy { airtime: 1.0, max_mcs: 28 }, RadioPolicy { airtime: 0.6, max_mcs: 22 }];
+    let (mut kpis, mut acks) = (0usize, 0usize);
+    for round in 0..rounds {
+        let reached = server.broadcast_policy(policies[round % policies.len()]);
+        assert_eq!(reached, nodes, "round {round}: policy must reach the whole fleet");
+        let want = nodes * (round + 1);
+        while kpis < want || acks < want {
+            let r = server.poll(1);
+            kpis += r.kpis;
+            acks += r.acks;
+            // A node hangs up right after its last ack, so closures are
+            // legitimate in the final round (the drain contract delivered
+            // its queued traffic first); before that they are a bug.
+            if round + 1 < rounds {
+                assert_eq!(r.closed, 0, "no session may die mid-run (round {round})");
             }
-        }
-        nearrt.poll().expect("nearrt poll 2");
-        for ev in nonrt.poll().expect("nonrt poll") {
-            match ev {
-                RicEvent::PolicyFeedback { policy_id, status } => {
-                    println!("[ric ] feedback for {policy_id:?}: {status:?}");
-                }
-                RicEvent::Kpi { t_ms, bs_power_w } => {
-                    println!("[ric ] vBS power sample @ {t_ms} ms: {bs_power_w:.3} W");
-                }
-            }
+            overdue();
         }
     }
-    println!("[ric ] {} policies enforced end-to-end", nonrt.enforced_count());
-    cell.join().expect("cell thread");
+    let elapsed = started.elapsed();
+    for h in handles {
+        h.join().expect("cell-site thread");
+    }
+
+    // Throughput off the metrics registry — the single source the smoke
+    // bench and EXPERIMENTS.md quote.
+    let snap = reg.snapshot();
+    let polls = snap.counter("edgebol_oran_ricserver_periods_total").unwrap_or(0);
+    let kpi_total = snap.counter("edgebol_oran_ricserver_kpi_total").unwrap_or(0);
+    let ack_total = snap.counter("edgebol_oran_ricserver_acks_total").unwrap_or(0);
+    assert_eq!(kpi_total, (nodes * rounds) as u64);
+    assert_eq!(ack_total, (nodes * rounds) as u64);
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "[ric ] {nodes} nodes x {rounds} rounds in {secs:.3}s: \
+         {kpi_total} KPIs + {ack_total} acks over {polls} server polls"
+    );
+    println!(
+        "[ric ] {:.0} node-periods/sec, {:.0} E2 frames/sec through one reactor thread",
+        (nodes * rounds) as f64 / secs,
+        // subscribe hs (2 per node) + per-round control/kpi/ack (3 each)
+        (2 * nodes + 3 * nodes * rounds) as f64 / secs,
+    );
 }
