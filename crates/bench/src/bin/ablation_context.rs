@@ -8,7 +8,7 @@
 //! padded per §4.4 — and compares convergence and converged cost.
 
 use edgebol_bandit::{Constraints, ControlGrid, EdgeBol, EdgeBolConfig, Feedback, GridAgent};
-use edgebol_bench::sweep::env_usize;
+use edgebol_bench::env::usize_knob;
 use edgebol_bench::{f1, f3, Table};
 use edgebol_linalg::stats::normal;
 use edgebol_ran::cqi_from_snr;
@@ -17,8 +17,8 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn main() {
-    let reps = env_usize("EDGEBOL_REPS", 5);
-    let periods = env_usize("EDGEBOL_PERIODS", 200);
+    let reps = usize_knob("EDGEBOL_REPS", 5);
+    let periods = usize_knob("EDGEBOL_PERIODS", 200);
     let n_users = 3usize;
     let constraints = Constraints { d_max: 3.0, rho_min: 0.55 };
     let delta2 = 4.0;

@@ -12,7 +12,7 @@
 //! testbed, then score held-out prediction error — the quantity that
 //! decides safe-set quality.
 
-use edgebol_bench::sweep::env_usize;
+use edgebol_bench::env::usize_knob;
 use edgebol_bench::{f3, Table};
 use edgebol_gp::{GaussianProcess, Kernel, KernelKind};
 use edgebol_testbed::{Calibration, ControlInput, Environment, FlowTestbed, Scenario};
@@ -20,8 +20,8 @@ use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
 fn main() {
-    let n_train = env_usize("EDGEBOL_TRAIN", 150);
-    let n_test = env_usize("EDGEBOL_TEST", 150);
+    let n_train = usize_knob("EDGEBOL_TRAIN", 150);
+    let n_test = usize_knob("EDGEBOL_TEST", 150);
 
     // Collect a labelled dataset: random controls, noisy KPI observations.
     let mut env = FlowTestbed::new(Calibration::fast(), Scenario::single_user(35.0), 0xAB1);

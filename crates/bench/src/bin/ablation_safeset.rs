@@ -7,15 +7,15 @@
 //! Reported: converged cost, violation counts, convergence period.
 
 use edgebol_bandit::{Acquisition, EdgeBolConfig};
-use edgebol_bench::sweep::env_usize;
+use edgebol_bench::env::usize_knob;
 use edgebol_bench::{f1, f3, run_reps, Table};
 use edgebol_core::agent::EdgeBolAgent;
 use edgebol_core::problem::ProblemSpec;
 use edgebol_testbed::{Calibration, FlowTestbed, Scenario};
 
 fn main() {
-    let reps = env_usize("EDGEBOL_REPS", 5);
-    let periods = env_usize("EDGEBOL_PERIODS", 150);
+    let reps = usize_knob("EDGEBOL_REPS", 5);
+    let periods = usize_knob("EDGEBOL_PERIODS", 150);
     let spec = ProblemSpec::convergence(8.0);
 
     let variants = [

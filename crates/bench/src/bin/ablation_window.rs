@@ -7,7 +7,7 @@
 //! quality and what they buy in wall-clock time.
 
 use edgebol_bandit::EdgeBolConfig;
-use edgebol_bench::sweep::env_usize;
+use edgebol_bench::env::usize_knob;
 use edgebol_bench::{f1, f3, run_reps, Table};
 use edgebol_core::agent::EdgeBolAgent;
 use edgebol_core::problem::ProblemSpec;
@@ -15,8 +15,8 @@ use edgebol_testbed::{Calibration, FlowTestbed, Scenario};
 use std::time::Instant;
 
 fn main() {
-    let reps = env_usize("EDGEBOL_REPS", 3);
-    let periods = env_usize("EDGEBOL_PERIODS", 200);
+    let reps = usize_knob("EDGEBOL_REPS", 3);
+    let periods = usize_knob("EDGEBOL_PERIODS", 200);
     let spec = ProblemSpec::convergence(8.0);
 
     let variants: [(&str, Option<usize>, Option<usize>); 4] = [

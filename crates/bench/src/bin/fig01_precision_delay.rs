@@ -5,13 +5,14 @@
 //! precision–delay trade-off: higher-res images carry more data (longer
 //! transmission → larger delay) but yield higher mAP.
 
-use edgebol_bench::sweep::{control, env_usize, measure, RESOLUTIONS};
+use edgebol_bench::env::usize_knob;
+use edgebol_bench::sweep::{control, measure, RESOLUTIONS};
 use edgebol_bench::{f3, Table};
 use edgebol_testbed::Scenario;
 
 fn main() {
-    let reps = env_usize("EDGEBOL_REPS", 3);
-    let periods = env_usize("EDGEBOL_PERIODS", 5);
+    let reps = usize_knob("EDGEBOL_REPS", 3);
+    let periods = usize_knob("EDGEBOL_PERIODS", 5);
     let scenario = Scenario::single_user(35.0);
     let mut table = Table::new(
         "Fig. 1 — mAP vs service delay per image resolution (DES)",

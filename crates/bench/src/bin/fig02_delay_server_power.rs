@@ -6,13 +6,14 @@
 //! closed loop sends frames faster, loading the GPU); (iii) an 80%
 //! increase in airtime improves delay by 65–80%.
 
-use edgebol_bench::sweep::{control, env_usize, measure, RESOLUTIONS};
+use edgebol_bench::env::usize_knob;
+use edgebol_bench::sweep::{control, measure, RESOLUTIONS};
 use edgebol_bench::{f1, f3, Table};
 use edgebol_testbed::Scenario;
 
 fn main() {
-    let reps = env_usize("EDGEBOL_REPS", 3);
-    let periods = env_usize("EDGEBOL_PERIODS", 5);
+    let reps = usize_knob("EDGEBOL_REPS", 3);
+    let periods = usize_knob("EDGEBOL_PERIODS", 5);
     let scenario = Scenario::single_user(35.0);
     let mut table = Table::new(
         "Fig. 2 — delay vs server power per resolution and airtime (DES)",

@@ -7,13 +7,14 @@
 //! detector (higher GPU delay) yet their shorter transmission dominates
 //! the end-to-end service delay.
 
-use edgebol_bench::sweep::{control, env_usize, measure, RESOLUTIONS};
+use edgebol_bench::env::usize_knob;
+use edgebol_bench::sweep::{control, measure, RESOLUTIONS};
 use edgebol_bench::{f1, f3, Table};
 use edgebol_testbed::Scenario;
 
 fn main() {
-    let reps = env_usize("EDGEBOL_REPS", 3);
-    let periods = env_usize("EDGEBOL_PERIODS", 5);
+    let reps = usize_knob("EDGEBOL_REPS", 3);
+    let periods = usize_knob("EDGEBOL_PERIODS", 5);
     let scenario = Scenario::single_user(35.0);
     let mut table = Table::new(
         "Fig. 3 — service & GPU delay vs server power per resolution and GPU speed (DES)",

@@ -6,13 +6,14 @@
 //! in fewer subframes, which wins over the long run. Airtime (and the
 //! request rate it enables) raises BS power.
 
-use edgebol_bench::sweep::{control, env_usize, measure};
+use edgebol_bench::env::usize_knob;
+use edgebol_bench::sweep::{control, measure};
 use edgebol_bench::{f1, f3, Table};
 use edgebol_testbed::Scenario;
 
 fn main() {
-    let reps = env_usize("EDGEBOL_REPS", 3);
-    let periods = env_usize("EDGEBOL_PERIODS", 5);
+    let reps = usize_knob("EDGEBOL_REPS", 3);
+    let periods = usize_knob("EDGEBOL_PERIODS", 5);
     let scenario = Scenario::single_user(35.0);
     let mut table = Table::new(
         "Fig. 5 — BS power vs MCS cap per resolution and airtime, 1x load (DES)",

@@ -8,13 +8,14 @@
 //! This inversion is the paper's argument for *learning* rather than
 //! hard-coding radio policies.
 
-use edgebol_bench::sweep::{control, env_usize, measure};
+use edgebol_bench::env::usize_knob;
+use edgebol_bench::sweep::{control, measure};
 use edgebol_bench::{f1, f3, Table};
 use edgebol_testbed::Scenario;
 
 fn main() {
-    let reps = env_usize("EDGEBOL_REPS", 3);
-    let periods = env_usize("EDGEBOL_PERIODS", 5);
+    let reps = usize_knob("EDGEBOL_REPS", 3);
+    let periods = usize_knob("EDGEBOL_PERIODS", 5);
     let scenario = Scenario::tenx_load(35.0);
     let mut table = Table::new(
         "Fig. 6 — BS power vs MCS cap per resolution and airtime, 10x load (DES)",

@@ -6,7 +6,7 @@
 //! within ≈25 periods for every δ2, and both KPIs fall within the
 //! constraints upon convergence with high probability.
 
-use edgebol_bench::sweep::env_usize;
+use edgebol_bench::env::usize_knob;
 use edgebol_bench::{f1, f3, run_reps, Table};
 use edgebol_core::agent::EdgeBolAgent;
 use edgebol_core::problem::ProblemSpec;
@@ -14,8 +14,8 @@ use edgebol_core::trace::percentile_band;
 use edgebol_testbed::{Calibration, FlowTestbed, Scenario};
 
 fn main() {
-    let reps = env_usize("EDGEBOL_REPS", 10);
-    let periods = env_usize("EDGEBOL_PERIODS", 150);
+    let reps = usize_knob("EDGEBOL_REPS", 10);
+    let periods = usize_knob("EDGEBOL_PERIODS", 150);
     let deltas = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
 
     let mut summary = Table::new(

@@ -9,15 +9,15 @@
 //! control for the same δ2, so values are comparable across δ2.
 
 use edgebol_bandit::{Constraints, ControlGrid, Oracle};
-use edgebol_bench::sweep::env_usize;
+use edgebol_bench::env::usize_knob;
 use edgebol_bench::{f3, run_reps, Table};
 use edgebol_core::agent::EdgeBolAgent;
 use edgebol_core::problem::ProblemSpec;
 use edgebol_testbed::{Calibration, ControlInput, FlowTestbed, Scenario};
 
 fn main() {
-    let reps = env_usize("EDGEBOL_REPS", 3);
-    let periods = env_usize("EDGEBOL_PERIODS", 150);
+    let reps = usize_knob("EDGEBOL_REPS", 3);
+    let periods = usize_knob("EDGEBOL_PERIODS", 150);
     let deltas = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
     let settings = [(0.5, 0.4, "lax"), (0.4, 0.5, "medium"), (0.3, 0.6, "stringent")];
 

@@ -7,15 +7,15 @@
 //! constraints the feasible space shrinks and the policies stay pinned
 //! near max resources regardless of δ2.
 
-use edgebol_bench::sweep::env_usize;
+use edgebol_bench::env::usize_knob;
 use edgebol_bench::{f3, run_reps, Table};
 use edgebol_core::agent::EdgeBolAgent;
 use edgebol_core::problem::ProblemSpec;
 use edgebol_testbed::{Calibration, FlowTestbed, Scenario};
 
 fn main() {
-    let reps = env_usize("EDGEBOL_REPS", 3);
-    let periods = env_usize("EDGEBOL_PERIODS", 150);
+    let reps = usize_knob("EDGEBOL_REPS", 3);
+    let periods = usize_knob("EDGEBOL_PERIODS", 150);
     let deltas = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
     let settings = [(0.5, 0.4, "lax"), (0.4, 0.5, "medium"), (0.3, 0.6, "stringent")];
 

@@ -13,15 +13,15 @@
 //! resolutions).
 
 use edgebol_bandit::{Constraints, ControlGrid, Oracle};
-use edgebol_bench::sweep::env_usize;
+use edgebol_bench::env::usize_knob;
 use edgebol_bench::{f3, run_reps, Table};
 use edgebol_core::agent::EdgeBolAgent;
 use edgebol_core::problem::ProblemSpec;
 use edgebol_testbed::{Calibration, ControlInput, FlowTestbed, Scenario};
 
 fn main() {
-    let reps = env_usize("EDGEBOL_REPS", 3);
-    let periods = env_usize("EDGEBOL_PERIODS", 300);
+    let reps = usize_knob("EDGEBOL_REPS", 3);
+    let periods = usize_knob("EDGEBOL_PERIODS", 300);
     let user_counts = [2usize, 4, 6];
     let deltas = [1.0, 2.0, 4.0, 8.0];
     let (d_max, rho_min) = (3.0, 0.55);

@@ -7,14 +7,14 @@
 //! transfers across similar contexts so the controller picks sensible
 //! policies even for SNR levels it has not seen.
 
-use edgebol_bench::sweep::env_usize;
+use edgebol_bench::env::usize_knob;
 use edgebol_bench::{f3, run_once, Table};
 use edgebol_core::agent::EdgeBolAgent;
 use edgebol_core::problem::ProblemSpec;
 use edgebol_testbed::{Calibration, FlowTestbed, Scenario};
 
 fn main() {
-    let periods = env_usize("EDGEBOL_PERIODS", 150);
+    let periods = usize_knob("EDGEBOL_PERIODS", 150);
     let spec = ProblemSpec::new(1.0, 8.0, 0.4, 0.5);
     let scenario = Scenario::dynamic();
 

@@ -13,7 +13,7 @@
 //! subsampling) — see `EdgeBolConfig` docs.
 
 use edgebol_bandit::EdgeBolConfig;
-use edgebol_bench::sweep::env_usize;
+use edgebol_bench::env::usize_knob;
 use edgebol_bench::{f1, f3, parallel_map, run_once, Table};
 use edgebol_core::agent::{Agent, DdpgAgent, EdgeBolAgent};
 use edgebol_core::problem::ProblemSpec;
@@ -21,7 +21,7 @@ use edgebol_core::trace::Trace;
 use edgebol_testbed::{Calibration, FlowTestbed, Scenario};
 
 fn main() {
-    let periods = env_usize("EDGEBOL_PERIODS", 3000);
+    let periods = usize_knob("EDGEBOL_PERIODS", 3000);
     let spec = ProblemSpec::new(1.0, 8.0, 0.5, 0.4);
     let schedule = vec![(periods / 3, 0.4, 0.6), (2 * periods / 3, 0.5, 0.5)];
 

@@ -25,7 +25,7 @@
 //! point.
 
 use edgebol_bandit::{Constraints, ControlGrid, EdgeBol, EdgeBolConfig, Feedback, GridAgent};
-use edgebol_bench::sweep::env_usize;
+use edgebol_bench::env::usize_knob;
 use edgebol_bench::{f1, f3, Table};
 use edgebol_testbed::{Calibration, ControlInput, MultiServiceTestbed, ServiceCfg};
 
@@ -122,8 +122,8 @@ fn run_per_slice(periods: usize, seed: u64) -> (Vec<f64>, usize) {
 }
 
 fn main() {
-    let periods = env_usize("EDGEBOL_PERIODS", 250);
-    let reps = env_usize("EDGEBOL_REPS", 3);
+    let periods = usize_knob("EDGEBOL_PERIODS", 250);
+    let reps = usize_knob("EDGEBOL_REPS", 3);
 
     let mut table = Table::new(
         "Multi-service (S = 2): joint 8-dim EdgeBOL vs per-slice decomposition",

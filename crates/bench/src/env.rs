@@ -1,0 +1,294 @@
+//! Typed access to every `EDGEBOL_*` environment knob.
+//!
+//! All knob parsing lives here so every binary fails the same way on a
+//! malformed value: `invalid EDGEBOL_<NAME> value "<v>": expected
+//! <what>`. A misspelled knob must never silently run with the default
+//! — a comparison run whose chaos schedule, transport or thread count
+//! differs silently is a footgun, so every accessor panics on garbage.
+//!
+//! Each knob has a pure `parse_*` function (unit-testable without
+//! touching the process environment) and a thin accessor that reads the
+//! variable and panics with the uniform message. Process-wide caching
+//! and once-per-process reporting stay in the crate root
+//! ([`crate::metrics_mode`], [`crate::chaos_from_env`], ...), which
+//! delegate here.
+//!
+//! The knob map (see README "Environment knobs" for semantics):
+//!
+//! | variable              | accessor        | values                         |
+//! |-----------------------|-----------------|--------------------------------|
+//! | `EDGEBOL_THREADS`     | [`threads`]     | positive integer               |
+//! | `EDGEBOL_METRICS`     | [`metrics_mode`]| `off`/`summary`/`dump=<dir>`   |
+//! | `EDGEBOL_CHAOS`       | [`chaos`]       | `key=value,...` fault spec     |
+//! | `EDGEBOL_FALLBACK`    | [`fallback`]    | `sticky` (default) / `off`     |
+//! | `EDGEBOL_TRANSPORT`   | [`transport`]   | `poll` (default) / `reactor`   |
+//! | `EDGEBOL_OPS`         | [`ops_addr`]    | `<ip>:<port>` to serve ops on  |
+//! | `EDGEBOL_FLIGHT_DIR`  | [`flight_dir`]  | directory for crash dumps      |
+//! | `EDGEBOL_REPS` etc.   | [`usize_knob`]  | non-negative integer           |
+
+use crate::MetricsMode;
+use edgebol_oran::{ChaosConfig, FallbackMode, TransportKind};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+
+/// The trimmed value of `key`; `None` when unset or blank (every knob
+/// treats an empty value as "use the default").
+fn raw(key: &str) -> Option<String> {
+    let v = std::env::var(key).ok()?;
+    let t = v.trim();
+    if t.is_empty() {
+        None
+    } else {
+        Some(t.to_string())
+    }
+}
+
+/// The uniform failure: every malformed knob dies with this shape.
+fn invalid(key: &str, value: &str, expected: &str) -> ! {
+    panic!("invalid {key} value {value:?}: expected {expected}")
+}
+
+/// Parses an `EDGEBOL_THREADS`-style worker count.
+///
+/// # Errors
+/// A message naming the expectation when `v` is not a positive integer.
+pub fn parse_threads(v: &str) -> Result<usize, String> {
+    match v.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err("a positive integer".into()),
+    }
+}
+
+/// `EDGEBOL_THREADS`: worker-thread count for the parallel runner, or
+/// `None` to use [`std::thread::available_parallelism`].
+///
+/// # Panics
+/// On a malformed value.
+pub fn threads() -> Option<usize> {
+    let v = raw("EDGEBOL_THREADS")?;
+    match parse_threads(&v) {
+        Ok(n) => Some(n),
+        Err(e) => invalid("EDGEBOL_THREADS", &v, &e),
+    }
+}
+
+/// Parses an `EDGEBOL_METRICS`-style observability mode.
+///
+/// # Errors
+/// A message naming the expectation when `v` is none of `off`,
+/// `summary` or `dump=<dir>` (with their aliases).
+pub fn parse_metrics_mode(v: &str) -> Result<MetricsMode, String> {
+    match v.trim() {
+        "" | "off" | "0" => Ok(MetricsMode::Off),
+        "summary" | "on" | "1" => Ok(MetricsMode::Summary),
+        other => match other.strip_prefix("dump=") {
+            Some(dir) if !dir.is_empty() => Ok(MetricsMode::Dump(PathBuf::from(dir))),
+            _ => Err("off, summary or dump=<dir>".into()),
+        },
+    }
+}
+
+/// `EDGEBOL_METRICS`: the observability mode (uncached — the crate
+/// root's [`crate::metrics_mode`] memoizes this per process).
+///
+/// # Panics
+/// On a malformed value.
+pub fn metrics_mode() -> MetricsMode {
+    let v = raw("EDGEBOL_METRICS").unwrap_or_default();
+    match parse_metrics_mode(&v) {
+        Ok(m) => m,
+        Err(e) => invalid("EDGEBOL_METRICS", &v, &e),
+    }
+}
+
+/// Parses an `EDGEBOL_CHAOS`-style fault spec (see
+/// [`ChaosConfig::from_spec`] for the `key=value,...` grammar).
+///
+/// # Errors
+/// The spec parser's message.
+pub fn parse_chaos(v: &str) -> Result<ChaosConfig, String> {
+    ChaosConfig::from_spec(v)
+}
+
+/// `EDGEBOL_CHAOS`: the deterministic fault schedule, if any.
+///
+/// # Panics
+/// On a malformed spec.
+pub fn chaos() -> Option<ChaosConfig> {
+    let v = raw("EDGEBOL_CHAOS")?;
+    match parse_chaos(&v) {
+        Ok(c) => Some(c),
+        Err(e) => invalid("EDGEBOL_CHAOS", &v, &format!("a fault spec ({e})")),
+    }
+}
+
+/// Parses an `EDGEBOL_FALLBACK`-style survival mode.
+///
+/// # Errors
+/// A message naming the expectation when `v` is neither `sticky` nor
+/// `off`.
+pub fn parse_fallback(v: &str) -> Result<FallbackMode, String> {
+    v.parse::<FallbackMode>().map_err(|_| "off or sticky".into())
+}
+
+/// `EDGEBOL_FALLBACK`: the reconnect supervisor's fallback mode
+/// (default [`FallbackMode::Sticky`]).
+///
+/// # Panics
+/// On a malformed value.
+pub fn fallback() -> FallbackMode {
+    match raw("EDGEBOL_FALLBACK") {
+        None => FallbackMode::Sticky,
+        Some(v) => match parse_fallback(&v) {
+            Ok(m) => m,
+            Err(e) => invalid("EDGEBOL_FALLBACK", &v, &e),
+        },
+    }
+}
+
+/// Parses an `EDGEBOL_TRANSPORT`-style transport kind.
+///
+/// # Errors
+/// A message naming the expectation when `v` is neither `poll` nor
+/// `reactor`.
+pub fn parse_transport(v: &str) -> Result<TransportKind, String> {
+    match v.trim() {
+        "" | "poll" => Ok(TransportKind::Poll),
+        "reactor" => Ok(TransportKind::Reactor),
+        _ => Err("poll or reactor".into()),
+    }
+}
+
+/// `EDGEBOL_TRANSPORT`: which transport carries the A1/E2 links
+/// (default [`TransportKind::Poll`]). The orchestrator reads the same
+/// knob internally via [`TransportKind::from_env`]; this accessor
+/// exists so the harness can report and validate it uniformly.
+///
+/// # Panics
+/// On a malformed value.
+pub fn transport() -> TransportKind {
+    match raw("EDGEBOL_TRANSPORT") {
+        None => TransportKind::Poll,
+        Some(v) => match parse_transport(&v) {
+            Ok(k) => k,
+            Err(e) => invalid("EDGEBOL_TRANSPORT", &v, &e),
+        },
+    }
+}
+
+/// Parses an `EDGEBOL_OPS`-style socket address.
+///
+/// # Errors
+/// A message naming the expectation when `v` is not `<ip>:<port>`.
+pub fn parse_ops_addr(v: &str) -> Result<SocketAddr, String> {
+    v.trim().parse::<SocketAddr>().map_err(|_| "<ip>:<port>, e.g. 127.0.0.1:9100".into())
+}
+
+/// `EDGEBOL_OPS`: the address to serve the HTTP ops surface on
+/// (`/metrics`, `/healthz`, `/vars`, `/trace`), or `None` to not serve
+/// it. Port 0 asks the OS for a free port (the bound address is
+/// reported on stderr).
+///
+/// # Panics
+/// On a malformed address.
+pub fn ops_addr() -> Option<SocketAddr> {
+    let v = raw("EDGEBOL_OPS")?;
+    match parse_ops_addr(&v) {
+        Ok(a) => Some(a),
+        Err(e) => invalid("EDGEBOL_OPS", &v, &e),
+    }
+}
+
+/// `EDGEBOL_FLIGHT_DIR`: the directory the crash flight-recorder dumps
+/// incident JSON into when a run dies with an `OrchestratorError`, or
+/// `None` to disable the recorder. Any non-empty path is accepted;
+/// the directory is created at dump time.
+pub fn flight_dir() -> Option<PathBuf> {
+    raw("EDGEBOL_FLIGHT_DIR").map(PathBuf::from)
+}
+
+/// Parses a sizing knob (`EDGEBOL_REPS`, `EDGEBOL_PERIODS`, ...).
+///
+/// # Errors
+/// A message naming the expectation when `v` is not a non-negative
+/// integer.
+pub fn parse_usize(v: &str) -> Result<usize, String> {
+    v.trim().parse::<usize>().map_err(|_| "a non-negative integer".into())
+}
+
+/// Reads a sizing knob (`EDGEBOL_REPS`, `EDGEBOL_PERIODS`,
+/// `EDGEBOL_TRAIN`, ...): `default` when unset or blank.
+///
+/// # Panics
+/// On a malformed value — a misspelled sweep size must not silently
+/// run the default-sized sweep.
+pub fn usize_knob(key: &str, default: usize) -> usize {
+    match raw(key) {
+        None => default,
+        Some(v) => match parse_usize(&v) {
+            Ok(n) => n,
+            Err(e) => invalid(key, &v, &e),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_accepts_positive_rejects_rest() {
+        assert_eq!(parse_threads("4"), Ok(4));
+        assert_eq!(parse_threads(" 1 "), Ok(1));
+        assert!(parse_threads("0").is_err());
+        assert!(parse_threads("-2").is_err());
+        assert!(parse_threads("four").is_err());
+    }
+
+    #[test]
+    fn metrics_mode_parses_all_aliases() {
+        assert_eq!(parse_metrics_mode(""), Ok(MetricsMode::Off));
+        assert_eq!(parse_metrics_mode("off"), Ok(MetricsMode::Off));
+        assert_eq!(parse_metrics_mode("0"), Ok(MetricsMode::Off));
+        assert_eq!(parse_metrics_mode("summary"), Ok(MetricsMode::Summary));
+        assert_eq!(parse_metrics_mode("on"), Ok(MetricsMode::Summary));
+        assert_eq!(parse_metrics_mode("1"), Ok(MetricsMode::Summary));
+        assert_eq!(parse_metrics_mode("dump=/tmp/m"), Ok(MetricsMode::Dump("/tmp/m".into())));
+        assert!(parse_metrics_mode("dump=").is_err());
+        assert!(parse_metrics_mode("verbose").is_err());
+    }
+
+    #[test]
+    fn fallback_and_transport_parse() {
+        assert_eq!(parse_fallback("off"), Ok(FallbackMode::Off));
+        assert_eq!(parse_fallback("sticky"), Ok(FallbackMode::Sticky));
+        assert!(parse_fallback("both").is_err());
+        assert_eq!(parse_transport("poll"), Ok(TransportKind::Poll));
+        assert_eq!(parse_transport("reactor"), Ok(TransportKind::Reactor));
+        assert_eq!(parse_transport(""), Ok(TransportKind::Poll));
+        assert!(parse_transport("udp").is_err());
+    }
+
+    #[test]
+    fn ops_addr_requires_socket_syntax() {
+        assert!(parse_ops_addr("127.0.0.1:0").is_ok());
+        assert!(parse_ops_addr("0.0.0.0:9100").is_ok());
+        assert!(parse_ops_addr("localhost:9100").is_err(), "no name resolution");
+        assert!(parse_ops_addr("9100").is_err());
+    }
+
+    #[test]
+    fn chaos_spec_delegates_to_the_chaos_parser() {
+        assert!(parse_chaos("seed=7,rate=0.05").is_ok());
+        assert!(parse_chaos("rate=not-a-number").is_err());
+    }
+
+    #[test]
+    fn usize_knob_falls_back_only_when_unset() {
+        assert_eq!(parse_usize("12"), Ok(12));
+        assert!(parse_usize("12.5").is_err());
+        assert!(parse_usize("many").is_err());
+        // Unset (or blank) keys yield the default without parsing.
+        assert_eq!(usize_knob("EDGEBOL_THIS_KNOB_IS_NEVER_SET", 42), 42);
+    }
+}

@@ -6,6 +6,7 @@
 //! aligned table, and writes a CSV under `results/` so the numbers can be
 //! compared against the paper (EXPERIMENTS.md records that comparison).
 
+pub mod env;
 pub mod sweep;
 
 use edgebol_core::agent::Agent;
@@ -13,13 +14,14 @@ use edgebol_core::orchestrator::{Orchestrator, OrchestratorError};
 use edgebol_core::problem::ProblemSpec;
 use edgebol_core::trace::Trace;
 use edgebol_metrics::Registry;
-use edgebol_oran::{ChaosConfig, FallbackMode, RecoveryPolicy, TransportKind};
+use edgebol_oran::{ChaosConfig, HealthHandle, OpsServer, OpsState, RecoveryPolicy, TransportKind};
 use edgebol_testbed::Environment;
+use edgebol_trace::{Journal, Layer};
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// What the `EDGEBOL_METRICS` knob asked for — see [`metrics_mode`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,36 +40,27 @@ pub enum MetricsMode {
 /// The observability mode requested via the `EDGEBOL_METRICS`
 /// environment variable: empty/`off`/`0` → [`MetricsMode::Off`],
 /// `summary`/`on`/`1` → [`MetricsMode::Summary`], `dump=<dir>` →
-/// [`MetricsMode::Dump`].
+/// [`MetricsMode::Dump`]. Parsing lives in [`env::metrics_mode`]; this
+/// memoizes the verdict per process.
 ///
 /// # Panics
 /// Panics (once) on a malformed value — a misspelled knob must not
 /// silently run unobserved, mirroring [`chaos_from_env`].
 pub fn metrics_mode() -> &'static MetricsMode {
     static MODE: OnceLock<MetricsMode> = OnceLock::new();
-    MODE.get_or_init(|| {
-        let v = std::env::var("EDGEBOL_METRICS").unwrap_or_default();
-        match v.trim() {
-            "" | "off" | "0" => MetricsMode::Off,
-            "summary" | "on" | "1" => MetricsMode::Summary,
-            other => match other.strip_prefix("dump=") {
-                Some(dir) if !dir.is_empty() => MetricsMode::Dump(PathBuf::from(dir)),
-                _ => panic!(
-                    "invalid EDGEBOL_METRICS value {other:?}: expected off, summary or dump=<dir>"
-                ),
-            },
-        }
-    })
+    MODE.get_or_init(env::metrics_mode)
 }
 
 /// The process-wide metrics registry every harness run records into —
-/// enabled iff [`metrics_mode`] is not [`MetricsMode::Off`]. The figure
-/// binaries pass it to the orchestrator (so core/oran metrics land here
-/// too) and render it via [`metrics_report`] before exiting.
+/// enabled iff [`metrics_mode`] is not [`MetricsMode::Off`] **or** the
+/// ops surface is up ([`env::ops_addr`] set): a live `/metrics`
+/// endpoint scraping a disabled registry would always read empty. The
+/// figure binaries pass it to the orchestrator (so core/oran metrics
+/// land here too) and render it via [`metrics_report`] before exiting.
 pub fn metrics() -> &'static Registry {
     static REG: OnceLock<Registry> = OnceLock::new();
     REG.get_or_init(|| match metrics_mode() {
-        MetricsMode::Off => Registry::disabled(),
+        MetricsMode::Off if env::ops_addr().is_none() => Registry::disabled(),
         _ => Registry::new(),
     })
 }
@@ -112,13 +105,11 @@ pub fn chaos_from_env() -> Option<&'static ChaosConfig> {
     static CONFIG: OnceLock<Option<ChaosConfig>> = OnceLock::new();
     CONFIG
         .get_or_init(|| {
-            let spec = std::env::var("EDGEBOL_CHAOS").ok()?;
-            if spec.trim().is_empty() {
-                return None;
-            }
-            let cfg = ChaosConfig::from_spec(&spec)
-                .unwrap_or_else(|e| panic!("invalid EDGEBOL_CHAOS spec: {e}"));
-            eprintln!("[edgebol-bench] chaos enabled: {spec}");
+            let cfg = env::chaos()?;
+            eprintln!(
+                "[edgebol-bench] chaos enabled: {}",
+                std::env::var("EDGEBOL_CHAOS").unwrap_or_default()
+            );
             Some(cfg)
         })
         .as_ref()
@@ -127,7 +118,7 @@ pub fn chaos_from_env() -> Option<&'static ChaosConfig> {
 /// The reconnect-supervisor policy requested via the `EDGEBOL_FALLBACK`
 /// environment variable: empty or `sticky` → the default policy (local
 /// autonomy survives an exhausted retry budget, with half-open probes),
-/// `off` → [`FallbackMode::Off`] (an exhausted budget surfaces
+/// `off` → [`edgebol_oran::FallbackMode::Off`] (an exhausted budget surfaces
 /// [`OrchestratorError::CircuitOpen`] and the run fails fast). Every
 /// harness run routes through this, so any figure can be re-run under
 /// either survival contract.
@@ -138,11 +129,8 @@ pub fn chaos_from_env() -> Option<&'static ChaosConfig> {
 pub fn recovery_from_env() -> &'static RecoveryPolicy {
     static POLICY: OnceLock<RecoveryPolicy> = OnceLock::new();
     POLICY.get_or_init(|| {
-        let v = std::env::var("EDGEBOL_FALLBACK").unwrap_or_default();
-        let mode = v
-            .parse::<FallbackMode>()
-            .unwrap_or_else(|e| panic!("invalid EDGEBOL_FALLBACK value: {e}"));
-        if mode == FallbackMode::Off {
+        let mode = env::fallback();
+        if mode == edgebol_oran::FallbackMode::Off {
             eprintln!("[edgebol-bench] fallback disabled: an open circuit aborts the run");
         }
         RecoveryPolicy::default().with_fallback(mode)
@@ -169,6 +157,91 @@ pub fn transport_from_env() -> TransportKind {
         }
         kind
     })
+}
+
+/// The process-wide event journal: every orchestrator run the harness
+/// starts records its period spans, recovery transitions and chaos
+/// faults here (when [`journal_wanted`] — someone must be able to read
+/// it), the ops surface serves its tail at `/trace`, and the crash
+/// flight-recorder dumps it on a fatal error. The journal never writes
+/// to stdout, so fixed-seed stdout/CSV artifacts stay byte-identical
+/// with or without it.
+pub fn journal() -> &'static Arc<Journal> {
+    static J: OnceLock<Arc<Journal>> = OnceLock::new();
+    J.get_or_init(|| Arc::new(Journal::new()))
+}
+
+/// Whether harness runs should carry the journal: only when a reader
+/// exists — the ops surface (`EDGEBOL_OPS`) or the flight recorder
+/// (`EDGEBOL_FLIGHT_DIR`). Unobserved journaling is pure overhead.
+pub fn journal_wanted() -> bool {
+    ops_server().is_some() || env::flight_dir().is_some()
+}
+
+/// The health handle `/healthz` reads; [`try_run_once_with_chaos`]
+/// refreshes it from the orchestrator's circuit state after every
+/// period, so an operator sees 503 while the circuit is latched open.
+fn ops_health() -> &'static HealthHandle {
+    static H: OnceLock<HealthHandle> = OnceLock::new();
+    H.get_or_init(HealthHandle::new)
+}
+
+/// The HTTP ops surface, started once per process when `EDGEBOL_OPS`
+/// is set: `GET /metrics` (Prometheus exposition of [`metrics`]),
+/// `/healthz` (circuit state), `/vars` (JSON snapshot) and `/trace`
+/// (recent [`journal`] events). The bound address is reported on
+/// stderr (stdout stays clean), which is how CI finds an OS-assigned
+/// port when the knob says `127.0.0.1:0`.
+///
+/// # Panics
+/// When the requested address cannot be bound — an operator who asked
+/// for an ops surface must not silently run without one.
+pub fn ops_server() -> Option<&'static OpsServer> {
+    static S: OnceLock<Option<OpsServer>> = OnceLock::new();
+    S.get_or_init(|| {
+        let addr = env::ops_addr()?;
+        let state = OpsState::new(metrics().clone())
+            .with_journal(journal().clone())
+            .with_health(ops_health().clone());
+        let server = OpsServer::spawn(&addr.to_string(), state)
+            .unwrap_or_else(|e| panic!("EDGEBOL_OPS={addr}: bind failed: {e}"));
+        eprintln!("[edgebol-bench] ops surface listening on http://{}", server.local_addr());
+        Some(server)
+    })
+    .as_ref()
+}
+
+/// How many trailing periods of journal events a flight record keeps.
+const FLIGHT_KEEP_PERIODS: u64 = 16;
+
+/// Dumps the crash flight record for a run that died with `e`, when
+/// `EDGEBOL_FLIGHT_DIR` is set: the last [`FLIGHT_KEEP_PERIODS`]
+/// periods of journal events plus outage accounting, as one JSON
+/// incident file. Reported on stderr either way.
+fn dump_flight_on_error(orch: &Orchestrator, e: &OrchestratorError) {
+    let Some(dir) = env::flight_dir() else { return };
+    journal().record(
+        Layer::Bench,
+        "run_failed",
+        orch.first_outage_period().map(|p| p as u64),
+        vec![("error", e.to_string())],
+    );
+    let mut meta = vec![
+        ("error", e.to_string()),
+        ("stage", e.stage().to_string()),
+        ("transport", format!("{:?}", orch.transport())),
+        ("circuit", format!("{:?}", orch.circuit_state())),
+        ("local_autonomy_periods", orch.local_autonomy_periods().to_string()),
+        ("degraded_events", orch.degraded_events().to_string()),
+    ];
+    if let Some(p) = orch.first_outage_period() {
+        meta.push(("first_outage_period", p.to_string()));
+    }
+    match edgebol_trace::dump_flight_record(&dir, e.stage(), FLIGHT_KEEP_PERIODS, journal(), &meta)
+    {
+        Ok(path) => eprintln!("[edgebol-bench] flight record written to {}", path.display()),
+        Err(io) => eprintln!("[edgebol-bench] flight record failed: {io}"),
+    }
 }
 
 /// A printable/serializable results table.
@@ -268,13 +341,14 @@ pub fn f1(v: f64) -> String {
 }
 
 /// Number of worker threads for [`parallel_map`]: the `EDGEBOL_THREADS`
-/// environment variable when set to a positive integer, otherwise
+/// environment variable when set, otherwise
 /// [`std::thread::available_parallelism`].
+///
+/// # Panics
+/// On a malformed `EDGEBOL_THREADS` value ([`env::threads`]).
 pub fn worker_threads() -> usize {
-    match std::env::var("EDGEBOL_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
-        Some(n) if n >= 1 => n,
-        _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-    }
+    env::threads()
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
 }
 
 /// Runs `job(0..n)` on a scoped thread pool and returns the results in
@@ -321,6 +395,13 @@ where
         return Vec::new();
     }
     let reg = metrics();
+    reg.describe("edgebol_bench_queue_depth", "Repetitions still queued when a worker grabs one");
+    reg.describe("edgebol_bench_rep_wall_seconds", "Wall-clock seconds per repetition");
+    reg.describe("edgebol_bench_worker_threads", "Worker threads in the parallel runner");
+    reg.describe(
+        "edgebol_bench_runner_utilization",
+        "Busy-time fraction of the parallel runner (1.0 = no idle workers)",
+    );
     let depth_h = reg.histogram("edgebol_bench_queue_depth", QUEUE_DEPTH_BOUNDS);
     let wall_h = reg.histogram("edgebol_bench_rep_wall_seconds", REP_WALL_BOUNDS);
     let threads = threads.max(1).min(n);
@@ -405,6 +486,13 @@ pub fn try_run_once(
 /// [`try_run_once`] under an explicit fault schedule (the env-knob path
 /// and the chaos test suite both land here).
 ///
+/// This is also the observability hub every figure binary inherits:
+/// the `EDGEBOL_OPS` server is started (once per process) before the
+/// run, the shared [`journal`] is attached when anyone can read it,
+/// `/healthz` is refreshed from the circuit state after every period,
+/// and a run that dies with an [`OrchestratorError`] leaves a flight
+/// record under `EDGEBOL_FLIGHT_DIR`.
+///
 /// # Errors
 /// The first unrecoverable [`OrchestratorError`] (e.g. a scheduled link
 /// cut); recoverable faults are absorbed by degraded mode.
@@ -420,11 +508,30 @@ pub fn try_run_once_with_chaos(
     // Resolve (and report, once) the transport before construction: the
     // orchestrator reads the same knob internally.
     let _ = transport_from_env();
+    let ops_up = ops_server().is_some();
     let mut orch = Orchestrator::new_instrumented(env, agent, spec, chaos, metrics().clone())?
         .with_constraint_schedule(schedule)
         .with_recovery(*recovery_from_env());
+    if journal_wanted() {
+        orch = orch.with_journal(journal().clone());
+    }
     orch.record_safe_set = record_safe_set;
-    let trace = orch.try_run(periods)?;
+    let mut trace = Trace::default();
+    for _ in 0..periods {
+        match orch.try_step() {
+            Ok(r) => trace.records.push(r),
+            Err(e) => {
+                if ops_up {
+                    ops_health().set(orch.circuit_state());
+                }
+                dump_flight_on_error(&orch, &e);
+                return Err(e);
+            }
+        }
+        if ops_up {
+            ops_health().set(orch.circuit_state());
+        }
+    }
     let ledger = orch.fault_ledger();
     if !ledger.is_empty() {
         eprintln!(

@@ -55,8 +55,3 @@ pub fn measure(scenario: &Scenario, control: &ControlInput, reps: usize, periods
 pub fn control(resolution: f64, airtime: f64, gpu_speed: f64, mcs_cap: u8) -> ControlInput {
     ControlInput { resolution, airtime, gpu_speed, mcs_cap: Mcs(mcs_cap) }
 }
-
-/// Reads an env-var override for sweep sizing (`EDGEBOL_REPS`, …).
-pub fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}

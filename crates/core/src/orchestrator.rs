@@ -71,6 +71,7 @@ use edgebol_oran::{
 };
 use edgebol_ran::Mcs;
 use edgebol_testbed::{ControlInput, Environment};
+use edgebol_trace::{Journal, Layer};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -197,6 +198,28 @@ struct OrchestratorMetrics {
 
 impl OrchestratorMetrics {
     fn new(registry: Registry) -> Self {
+        registry.describe("edgebol_core_periods_total", "Control periods completed");
+        registry.describe(
+            "edgebol_core_step_latency_seconds",
+            "Wall-clock latency of one sense-optimize-deploy-KPI period",
+        );
+        registry.describe(
+            "edgebol_core_kpi_stale_samples_total",
+            "Periods that reused the last KPI report because the fresh one was lost",
+        );
+        registry.describe(
+            "edgebol_core_local_autonomy_periods_total",
+            "Periods ridden out in local-autonomy fallback (control plane down)",
+        );
+        registry.describe("edgebol_core_degraded_total", "Degraded periods by failing chain stage");
+        registry.describe(
+            "edgebol_core_control_plane_errors_total",
+            "Fatal control-plane errors by failing chain stage",
+        );
+        registry.describe(
+            "edgebol_core_stale_frames_discarded_total",
+            "Pre-outage frames discarded on resync instead of being replayed",
+        );
         OrchestratorMetrics {
             periods: registry.counter("edgebol_core_periods_total"),
             step_seconds: registry
@@ -258,6 +281,10 @@ pub struct Orchestrator {
     pub record_safe_set: bool,
     schedule: Vec<ConstraintEvent>,
     metrics: OrchestratorMetrics,
+    /// Structured event journal (per-period stage spans, outage
+    /// narrative), shared with the supervisor and chaos ledger once
+    /// attached via [`Orchestrator::with_journal`].
+    journal: Option<Arc<Journal>>,
 }
 
 impl Orchestrator {
@@ -439,6 +466,7 @@ impl Orchestrator {
             record_safe_set: false,
             schedule: Vec::new(),
             metrics: OrchestratorMetrics::new(metrics),
+            journal: None,
         };
         // Complete the KPI subscription handshake...
         at("KPI subscription handshake (node)", orch.node.poll())?;
@@ -462,7 +490,37 @@ impl Orchestrator {
     /// `Connected` at epoch 0.
     pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
         self.supervisor = Supervisor::new_instrumented(policy, &self.metrics.registry);
+        if let Some(j) = &self.journal {
+            self.supervisor.set_journal(j.clone());
+        }
         self
+    }
+
+    /// Attaches a structured event journal: the orchestrator emits one
+    /// `period_span` event per period (sense → optimize → deploy → KPI
+    /// stage timings) plus outage-narrative events, and the same handle
+    /// is forwarded to the reconnect supervisor (circuit transitions)
+    /// and the chaos ledger (fault injections), so one ring holds the
+    /// whole story in order. Order with respect to
+    /// [`Orchestrator::with_recovery`] does not matter.
+    pub fn with_journal(mut self, journal: Arc<Journal>) -> Self {
+        self.supervisor.set_journal(journal.clone());
+        self.chaos.ledger().set_journal(journal.clone());
+        self.journal = Some(journal);
+        self
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.as_ref()
+    }
+
+    /// Records an orchestrator-layer journal event stamped with the
+    /// current period; a no-op without an attached journal.
+    fn journal_event(&self, kind: &'static str, fields: Vec<(&'static str, String)>) {
+        if let Some(j) = &self.journal {
+            j.record(Layer::Orchestrator, kind, Some(self.t as u64), fields);
+        }
     }
 
     /// The problem spec currently in force.
@@ -722,10 +780,23 @@ impl Orchestrator {
     /// truth: the node may have applied this period's policy *before*
     /// the link died, in which case the outage runs under that policy,
     /// not the previous one.
+    /// Marks the current period as the start of the outage window (at
+    /// most once per run) and journals the transition.
+    fn note_outage_start(&mut self, cause: &'static str) {
+        if self.first_outage_period.is_none() {
+            self.first_outage_period = Some(self.t);
+            self.journal_event("outage_start", vec![("cause", cause.to_string())]);
+        }
+    }
+
     fn on_session_lost(&mut self, e: &OrchestratorError) {
-        self.first_outage_period.get_or_insert(self.t);
+        self.note_outage_start("session loss");
         if let OrchestratorError::ControlPlane { stage, source } = e {
             let link = Self::lost_link(stage, source);
+            self.journal_event(
+                "session_lost",
+                vec![("stage", (*stage).to_string()), ("link", link.label().to_string())],
+            );
             self.supervisor.on_connection_lost(link, self.t as u64);
         }
         if let Some(p) = self.enforced.lock().unwrap_or_else(PoisonError::into_inner).take() {
@@ -738,7 +809,7 @@ impl Orchestrator {
     /// configuration while the control plane is down); non-RAN knobs
     /// (resolution, GPU speed) apply locally as always.
     fn local_autonomy_control(&mut self, wanted: &ControlInput) -> ControlInput {
-        self.first_outage_period.get_or_insert(self.t);
+        self.note_outage_start("local autonomy");
         self.local_autonomy_periods += 1;
         self.metrics.local_autonomy.inc();
         let applied = self.last_enforced.unwrap_or(RadioPolicy {
@@ -881,6 +952,10 @@ impl Orchestrator {
         match &r {
             Ok(_) => self.metrics.periods.inc(),
             Err(e) => {
+                self.journal_event(
+                    "step_error",
+                    vec![("stage", e.stage().to_string()), ("error", e.to_string())],
+                );
                 self.metrics
                     .registry
                     .counter_with(
@@ -895,6 +970,11 @@ impl Orchestrator {
     }
 
     fn step_inner(&mut self) -> Result<PeriodRecord, OrchestratorError> {
+        // Per-period stage span (sense → optimize → deploy → kpi →
+        // learn). The Arc clone detaches the span's borrow from `self`
+        // so the loop body can keep taking `&mut self`.
+        let journal = self.journal.clone();
+        let mut span = journal.as_deref().map(|j| j.span(self.t as u64));
         // Stamp the period for the node's apply hook (enforcement log).
         self.period.store(self.t, Ordering::SeqCst);
         // Scheduled constraint changes (operator reconfiguration).
@@ -903,11 +983,24 @@ impl Orchestrator {
                 self.spec.d_max = d_max;
                 self.spec.rho_min = rho_min;
                 self.agent.set_constraints(d_max, rho_min);
+                self.journal_event(
+                    "constraint_change",
+                    vec![("d_max", format!("{d_max}")), ("rho_min", format!("{rho_min}"))],
+                );
             }
         }
         let ctx = self.env.observe_context();
+        if let Some(s) = span.as_mut() {
+            s.stage("sense");
+        }
         let wanted = self.agent.select(&ctx);
+        if let Some(s) = span.as_mut() {
+            s.stage("optimize");
+        }
         let (control, connected) = self.supervised_deploy(&wanted)?;
+        if let Some(s) = span.as_mut() {
+            s.stage("deploy");
+        }
         let mut obs = self.env.step(&control);
         // BS power rides the E2 KPI path (mW quantization included) —
         // but only while a session is up; outage periods use the local
@@ -922,7 +1015,7 @@ impl Orchestrator {
                         // The KPI watchdog declared the E2 stream dead:
                         // the supervisor is now backing off toward a
                         // resync, and this period opens the outage.
-                        self.first_outage_period.get_or_insert(self.t);
+                        self.note_outage_start("kpi watchdog");
                     }
                 }
                 Err(e) if e.is_session_fatal() => {
@@ -934,6 +1027,9 @@ impl Orchestrator {
                 Err(e) => return Err(e),
             }
         }
+        if let Some(s) = span.as_mut() {
+            s.stage("kpi");
+        }
 
         let cost = self.spec.cost(&obs);
         let satisfied = self.spec.satisfied(&obs);
@@ -943,6 +1039,10 @@ impl Orchestrator {
         let record =
             PeriodRecord { t: self.t, context: ctx, control, obs, cost, satisfied, safe_set_size };
         self.t += 1;
+        if let Some(mut s) = span.take() {
+            s.stage("learn");
+            s.finish();
+        }
         Ok(record)
     }
 
@@ -1221,6 +1321,75 @@ mod tests {
         let _ = o.try_run(30).unwrap();
         assert_eq!(o.watchdog_trips(), 0);
         assert_eq!(o.first_outage_period(), None);
+    }
+
+    #[test]
+    fn journal_captures_the_whole_outage_narrative_across_layers() {
+        use edgebol_trace::{Journal, Layer};
+        let journal = std::sync::Arc::new(Journal::with_capacity(4096));
+        let chaos = ChaosConfig::disabled().with_cut(LinkId::E2, 10).with_heal(25);
+        let mut o = chaos_orch(11, chaos).with_journal(journal.clone());
+        let trace = o.try_run(40).expect("a healed cut must not abort the run");
+        assert_eq!(trace.len(), 40);
+        assert!(o.reconnects_ok() >= 1);
+
+        let events = journal.snapshot();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind).collect();
+        // One period_span per period, in period order, with stage fields.
+        let spans: Vec<_> = events.iter().filter(|e| e.kind == "period_span").collect();
+        assert_eq!(spans.len(), 40, "one span per period: {kinds:?}");
+        for (i, s) in spans.iter().enumerate() {
+            assert_eq!(s.period, Some(i as u64));
+            assert_eq!(s.layer, Layer::Orchestrator);
+            let keys: Vec<&str> = s.fields.iter().map(|(k, _)| *k).collect();
+            assert!(keys.contains(&"sense") && keys.contains(&"deploy"), "{keys:?}");
+        }
+        // The outage narrative: chaos cut → session lost → recovery
+        // backoff → resync — each from its own layer, in causal order.
+        let pos = |k: &str| kinds.iter().position(|x| *x == k);
+        let fault = pos("fault").expect("chaos layer must journal the cut");
+        let lost = pos("session_lost").expect("orchestrator must journal the loss");
+        let outage = pos("outage_start").expect("outage window start must be journaled");
+        let conn_lost = pos("connection_lost").expect("supervisor must journal the loss");
+        let resync = pos("resync_ok").expect("supervisor must journal the heal");
+        assert!(fault < lost && lost <= conn_lost && conn_lost < resync);
+        assert!(outage <= conn_lost);
+        assert_eq!(events[fault].layer, Layer::Chaos, "fault events carry the chaos layer tag");
+        assert_eq!(events[conn_lost].layer, Layer::Recovery);
+        // Journal attachment must not perturb the episode: same trace
+        // as an identically seeded run without a journal.
+        let chaos = ChaosConfig::disabled().with_cut(LinkId::E2, 10).with_heal(25);
+        let mut bare = chaos_orch(11, chaos);
+        let reference = bare.try_run(40).unwrap();
+        for (a, b) in reference.records.iter().zip(&trace.records) {
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "t={}", a.t);
+        }
+    }
+
+    #[test]
+    fn fallback_off_journals_the_fatal_step_error() {
+        use edgebol_trace::Journal;
+        let journal = std::sync::Arc::new(Journal::with_capacity(4096));
+        let chaos = ChaosConfig::disabled().with_cut(LinkId::E2, 10);
+        let mut o = chaos_orch(13, chaos)
+            .with_recovery(RecoveryPolicy::default().with_fallback(FallbackMode::Off))
+            .with_journal(journal.clone());
+        let mut failed = false;
+        for _ in 0..200 {
+            if o.try_step().is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "fallback off must surface the open circuit");
+        let events = journal.snapshot();
+        let err = events
+            .iter()
+            .find(|e| e.kind == "step_error")
+            .expect("the fatal step must be journaled");
+        assert_eq!(err.period.map(|p| p as usize), o.first_outage_period().map(|_| o.t));
+        assert!(err.fields.iter().any(|(k, v)| *k == "stage" && v == "reconnect supervisor"));
+        assert!(events.iter().any(|e| e.kind == "circuit_open"), "supervisor journals the latch");
     }
 
     #[test]

@@ -134,6 +134,8 @@ struct Inner {
     /// Full series key (name + rendered labels) → cell. A `BTreeMap` so
     /// snapshots iterate in one deterministic order.
     slots: Mutex<BTreeMap<String, Slot>>,
+    /// Family base name → `# HELP` text ([`Registry::describe`]).
+    help: Mutex<BTreeMap<String, String>>,
 }
 
 /// A named set of metrics. Cloning is cheap and shares the underlying
@@ -167,8 +169,17 @@ impl Default for Registry {
     }
 }
 
+/// Escapes a label value for the Prometheus exposition format: the
+/// backslash first (so later escapes don't double up), then the quote
+/// that would close the value, then raw newlines (which would break the
+/// line-oriented format).
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
 /// Renders `name{k="v",...}` (or just `name` without labels). Label
-/// values are escaped for the Prometheus exposition format.
+/// values are escaped for the Prometheus exposition format
+/// ([`escape_label_value`]).
 fn series_key(name: &str, labels: &[(&str, &str)]) -> String {
     if labels.is_empty() {
         return name.to_string();
@@ -180,7 +191,7 @@ fn series_key(name: &str, labels: &[(&str, &str)]) -> String {
         if i > 0 {
             out.push(',');
         }
-        let _ = write!(out, "{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\""));
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
     }
     out.push('}');
     out
@@ -202,6 +213,18 @@ impl Registry {
     /// Whether this registry actually records.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Attaches `# HELP` text to the metric family `name` (the base
+    /// name, without labels — for a histogram, the name *without* the
+    /// `_bucket`/`_sum`/`_count` suffixes). The text is emitted once
+    /// per family by [`Snapshot::render_prometheus`], ahead of the
+    /// family's `# TYPE` line. The first description for a family wins;
+    /// describing is a no-op on a disabled registry.
+    pub fn describe(&self, name: &str, help: &str) {
+        let Some(inner) = &self.inner else { return };
+        let mut map = inner.help.lock().unwrap_or_else(PoisonError::into_inner);
+        map.entry(name.to_string()).or_insert_with(|| help.to_string());
     }
 
     fn slot<T>(
@@ -347,7 +370,11 @@ impl Registry {
                 entries.push(MetricSnapshot { name: key.clone(), value });
             }
         }
-        Snapshot { entries }
+        let help = match &self.inner {
+            Some(inner) => inner.help.lock().unwrap_or_else(PoisonError::into_inner).clone(),
+            None => BTreeMap::new(),
+        };
+        Snapshot { entries, help }
     }
 }
 
@@ -508,6 +535,8 @@ pub struct MetricSnapshot {
 pub struct Snapshot {
     /// Every series, in deterministic (sorted-key) order.
     pub entries: Vec<MetricSnapshot>,
+    /// Family base name → `# HELP` text ([`Registry::describe`]).
+    pub help: BTreeMap<String, String>,
 }
 
 /// Splits a series key into (base name, rendered label body).
@@ -557,13 +586,23 @@ impl Snapshot {
     /// A new snapshot keeping only the series `keep` accepts — e.g. to
     /// strip wall-clock series before a determinism comparison.
     pub fn filtered(&self, keep: impl Fn(&MetricSnapshot) -> bool) -> Snapshot {
-        Snapshot { entries: self.entries.iter().filter(|e| keep(e)).cloned().collect() }
+        Snapshot {
+            entries: self.entries.iter().filter(|e| keep(e)).cloned().collect(),
+            help: self.help.clone(),
+        }
     }
 
     /// Prometheus-style exposition text: counters and gauges as single
     /// samples, histograms as cumulative `_bucket{le=...}` series plus
-    /// `_sum` and `_count`.
+    /// `_sum` and `_count`. Each family gets its `# HELP` line (when
+    /// described via [`Registry::describe`]) and `# TYPE` line exactly
+    /// once, ahead of the family's first sample.
     pub fn render_prometheus(&self) -> String {
+        // Help text escaping per the exposition format: backslash and
+        // newline only (quotes are legal in help text).
+        fn escape_help(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('\n', "\\n")
+        }
         let mut out = String::new();
         let mut typed: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
         for e in &self.entries {
@@ -574,6 +613,9 @@ impl Snapshot {
                 MetricValue::Histogram { .. } => "histogram",
             };
             if typed.insert(base) {
+                if let Some(help) = self.help.get(base) {
+                    let _ = writeln!(out, "# HELP {base} {}", escape_help(help));
+                }
                 let _ = writeln!(out, "# TYPE {base} {kind}");
             }
             match &e.value {
@@ -824,6 +866,49 @@ mod tests {
         assert!(prom.contains("lat_seconds_bucket{stage=\"a\",le=\"+Inf\"} 3"));
         assert!(prom.contains("lat_seconds_sum{stage=\"a\"} 9.55"));
         assert!(prom.contains("lat_seconds_count{stage=\"a\"} 3"));
+    }
+
+    #[test]
+    fn hostile_label_values_are_escaped_in_the_exposition() {
+        let reg = Registry::new();
+        // Every character the exposition format cannot carry raw: the
+        // escape character itself, the value-closing quote, a newline.
+        reg.counter_with("hostile_total", &[("path", "C:\\tmp\\\"x\"\nnext")]).inc();
+        reg.counter_with("hostile_total", &[("path", "benign")]).add(2);
+
+        let snap = reg.snapshot();
+        let key = "hostile_total{path=\"C:\\\\tmp\\\\\\\"x\\\"\\nnext\"}";
+        assert_eq!(snap.counter(key), Some(1), "keys: {:?}", snap.entries);
+
+        let prom = snap.render_prometheus();
+        // One sample line per series — the raw newline must not have
+        // split the hostile sample in two.
+        assert_eq!(prom.matches("# TYPE hostile_total counter").count(), 1);
+        assert_eq!(prom.lines().count(), 3);
+        assert!(prom.contains(&format!("{key} 1\n")));
+        assert!(prom.contains("hostile_total{path=\"benign\"} 2\n"));
+    }
+
+    #[test]
+    fn help_renders_once_per_family_before_type() {
+        let reg = Registry::new();
+        reg.describe("f_total", "frames moved\nacross both links");
+        reg.describe("lat_seconds", "per-stage latency");
+        reg.describe("lat_seconds", "a later description loses");
+        reg.counter_with("f_total", &[("link", "A1")]).inc();
+        reg.counter_with("f_total", &[("link", "E2")]).inc();
+        reg.histogram("lat_seconds", &[0.1]).observe(0.05);
+        reg.gauge("undescribed").set(1.0);
+
+        let prom = reg.snapshot().render_prometheus();
+        assert_eq!(prom.matches("# HELP f_total frames moved\\nacross both links").count(), 1);
+        assert_eq!(prom.matches("# TYPE f_total counter").count(), 1);
+        assert_eq!(prom.matches("# HELP lat_seconds per-stage latency").count(), 1);
+        assert!(!prom.contains("loses"), "first description wins");
+        assert!(!prom.contains("# HELP undescribed"));
+        let help_at = prom.find("# HELP f_total").unwrap();
+        let type_at = prom.find("# TYPE f_total").unwrap();
+        assert!(help_at < type_at, "HELP precedes TYPE:\n{prom}");
     }
 
     #[test]

@@ -56,11 +56,12 @@ use crate::transport::{Endpoint, FramedTcp, Link};
 use crate::OranError;
 use bytes::Bytes;
 use edgebol_metrics::{Counter, Registry};
+use edgebol_trace::{Journal, Layer};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// Which control-plane link a decorated transport carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -511,13 +512,24 @@ impl FaultRecord {
 pub struct FaultLedger {
     inner: Arc<Mutex<Vec<FaultRecord>>>,
     metrics: Registry,
+    /// Optional event journal; shared across clones and set at most
+    /// once (see [`FaultLedger::set_journal`]).
+    journal: Arc<OnceLock<Arc<Journal>>>,
 }
 
 impl FaultLedger {
     /// A ledger that mirrors every push into `metrics` as
     /// `edgebol_oran_faults_total{kind,link}` counters.
     pub fn instrumented(metrics: Registry) -> Self {
-        FaultLedger { inner: Arc::default(), metrics }
+        metrics.describe("edgebol_oran_faults_total", "Chaos faults injected, by kind and link");
+        FaultLedger { inner: Arc::default(), metrics, journal: Arc::default() }
+    }
+
+    /// Attaches an event journal: every injected fault is recorded
+    /// under [`Layer::Chaos`] in addition to the ledger entry. Shared
+    /// by every clone of this ledger; the first call wins.
+    pub fn set_journal(&self, journal: Arc<Journal>) {
+        let _ = self.journal.set(journal);
     }
 
     /// Append `record`, overwriting its `seq` with the next ledger index.
@@ -528,6 +540,21 @@ impl FaultLedger {
                 &[("kind", record.kind.label()), ("link", record.link.label())],
             )
             .inc();
+        if let Some(j) = self.journal.get() {
+            j.record(
+                Layer::Chaos,
+                "fault",
+                None,
+                vec![
+                    ("kind", record.kind.label().to_string()),
+                    ("link", record.link.label().to_string()),
+                    ("msg", format!("{:?}", record.msg)),
+                    ("op", record.op.to_string()),
+                    ("detail", record.detail.clone()),
+                    ("heals", record.heals.to_string()),
+                ],
+            );
+        }
         let mut v = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         record.seq = v.len() as u64;
         v.push(record);
@@ -737,6 +764,13 @@ impl ChaosPlan {
     /// (`edgebol_oran_faults_total{kind,link}`) into `metrics`. Passing
     /// [`Registry::disabled`] is equivalent to [`ChaosPlan::new`].
     pub fn new_instrumented(cfg: ChaosConfig, metrics: Registry) -> Self {
+        metrics
+            .describe("edgebol_oran_frames_total", "Control-plane frames, by direction and link");
+        metrics.describe("edgebol_oran_bytes_total", "Control-plane bytes, by direction and link");
+        metrics.describe(
+            "edgebol_oran_redelivered_frames_total",
+            "Frames delivered more than once by a duplication fault",
+        );
         ChaosPlan {
             cfg,
             ledger: FaultLedger::instrumented(metrics.clone()),

@@ -38,6 +38,7 @@
 pub mod a1;
 pub mod chaos;
 pub mod e2;
+pub mod ops;
 pub mod reactor;
 pub mod recovery;
 pub mod ric;
@@ -49,7 +50,10 @@ pub use chaos::{
     FaultLedger, FaultRecord, LaneConfig, LinkId, MsgClass,
 };
 pub use e2::{E2Codec, E2Message, KpiReport};
-pub use reactor::{Reactor, ReactorBackend, ReactorLink, ReactorListener, Token};
+pub use ops::{HealthHandle, OpsServer, OpsState};
+pub use reactor::{
+    HttpHandler, HttpResponse, Reactor, ReactorBackend, ReactorLink, ReactorListener, Token,
+};
 pub use recovery::{CircuitState, FallbackMode, RecoveryAction, RecoveryPolicy, Supervisor};
 pub use ric::{E2Node, NearRtRic, NonRtRic, RicEvent, RicServer};
 pub use transport::{duplex_pair, AnyLink, Endpoint, ErrorStash, FramedTcp, Link, TransportKind};

@@ -39,6 +39,7 @@ use crate::OranError;
 use bytes::{Bytes, BytesMut};
 use edgebol_metrics::{Counter, Gauge, Registry};
 use std::collections::VecDeque;
+use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
@@ -309,6 +310,72 @@ impl Inbound {
     }
 }
 
+/// Maximum bytes of a single HTTP request head the reactor buffers
+/// before answering 431 and hanging up — operator GETs are tiny, so
+/// anything larger is garbage or abuse.
+const MAX_HTTP_HEAD: usize = 16 * 1024;
+
+/// A response produced by an [`HttpHandler`]. The reactor adds the
+/// status line, `Content-Length` and `Connection` headers itself.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// HTTP status code (200, 404, 503, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// A `text/plain; charset=utf-8` response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        HttpResponse { status, content_type: "text/plain; charset=utf-8", body: body.into() }
+    }
+
+    /// A 200 `application/json` response.
+    pub fn json(body: impl Into<Vec<u8>>) -> Self {
+        HttpResponse { status: 200, content_type: "application/json", body: body.into() }
+    }
+}
+
+/// Serves `GET` requests arriving on HTTP connections hosted by a
+/// reactor (see [`Reactor::bind_http`]). Handlers run on the reactor
+/// thread while the core lock is held, so they must be fast and must
+/// not call back into the same reactor.
+pub trait HttpHandler: Send + Sync {
+    /// Produces the response for `GET <path>?<query>`. `query` is the
+    /// raw query string without the `?` (empty when absent).
+    fn handle(&self, path: &str, query: &str) -> HttpResponse;
+}
+
+/// Per-connection state for an HTTP conversation.
+struct HttpConnState {
+    handler: Arc<dyn HttpHandler>,
+    /// The final response has been queued; hang up once it flushes.
+    close_after_flush: bool,
+}
+
+/// What protocol a connection speaks: the framed E2/A1 byte stream or
+/// operator HTTP. HTTP connections are owned by the reactor itself
+/// (no [`ReactorLink`] handle exists for them) and are reaped by
+/// [`Core::turn`] when their conversation ends.
+enum ConnKind {
+    Framed,
+    Http(HttpConnState),
+}
+
+impl fmt::Debug for ConnKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConnKind::Framed => f.write_str("Framed"),
+            ConnKind::Http(h) => {
+                f.debug_struct("Http").field("close_after_flush", &h.close_after_flush).finish()
+            }
+        }
+    }
+}
+
 /// One registered connection: the nonblocking stream plus its partial
 /// read/write state and delivery accounting.
 #[derive(Debug)]
@@ -333,6 +400,8 @@ struct Conn {
     read_closed: bool,
     /// A write failed fatally; sends report the stored error.
     write_dead: bool,
+    /// Protocol spoken on this connection (framed E2/A1 or HTTP).
+    kind: ConnKind,
 }
 
 impl Conn {
@@ -342,11 +411,23 @@ impl Conn {
 }
 
 /// A registered listener plus the tokens of freshly accepted (not yet
-/// claimed) connections.
-#[derive(Debug)]
+/// claimed) connections. A listener carrying an HTTP handler serves
+/// accepted connections itself instead of queueing them for
+/// [`ReactorListener::accept`].
 struct ListenerState {
     listener: TcpListener,
     accepted: VecDeque<Token>,
+    http: Option<Arc<dyn HttpHandler>>,
+}
+
+impl fmt::Debug for ListenerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ListenerState")
+            .field("listener", &self.listener)
+            .field("accepted", &self.accepted)
+            .field("http", &self.http.is_some())
+            .finish()
+    }
 }
 
 /// Slab entries: connections and listeners share one token space.
@@ -366,10 +447,32 @@ struct ReactorMetrics {
     bytes_tx: Counter,
     accepts: Counter,
     sessions: Gauge,
+    http_requests: Counter,
 }
 
 impl ReactorMetrics {
     fn new(reg: &Registry) -> Self {
+        reg.describe("edgebol_oran_reactor_turns_total", "Reactor event-loop turns");
+        reg.describe(
+            "edgebol_oran_reactor_frames_total",
+            "Frames moved by the reactor, by direction",
+        );
+        reg.describe(
+            "edgebol_oran_reactor_bytes_total",
+            "Payload bytes moved by the reactor, by direction",
+        );
+        reg.describe(
+            "edgebol_oran_reactor_accepts_total",
+            "Connections accepted by reactor listeners",
+        );
+        reg.describe(
+            "edgebol_oran_reactor_sessions",
+            "Connections currently registered in the slab",
+        );
+        reg.describe(
+            "edgebol_oran_reactor_http_requests_total",
+            "HTTP requests served by the ops surface",
+        );
         ReactorMetrics {
             turns: reg.counter("edgebol_oran_reactor_turns_total"),
             frames_rx: reg.counter_with("edgebol_oran_reactor_frames_total", &[("dir", "rx")]),
@@ -378,6 +481,188 @@ impl ReactorMetrics {
             bytes_tx: reg.counter_with("edgebol_oran_reactor_bytes_total", &[("dir", "tx")]),
             accepts: reg.counter("edgebol_oran_reactor_accepts_total"),
             sessions: reg.gauge("edgebol_oran_reactor_sessions"),
+            http_requests: reg.counter("edgebol_oran_reactor_http_requests_total"),
+        }
+    }
+}
+
+/// Outcome of scanning the read buffer for one HTTP request head.
+enum HttpParse {
+    /// The head is not complete yet; wait for more bytes.
+    Partial,
+    /// One complete, well-formed request head.
+    Request {
+        method: String,
+        path: String,
+        query: String,
+        /// The client asked to close (or spoke HTTP/1.0).
+        close: bool,
+        /// The request declares a body, which this server rejects.
+        has_body: bool,
+        /// Bytes consumed by the head including the blank line.
+        head_len: usize,
+    },
+    /// Unrecoverable garbage; answer 400 and hang up.
+    Bad(&'static str),
+}
+
+/// Incremental HTTP/1.1 request-head parser: returns as soon as the
+/// blank line is present, leaving any pipelined follow-up bytes in
+/// the buffer. Only the request line, `Connection` and body-signalling
+/// headers are interpreted; everything else is skipped.
+fn parse_http_head(buf: &[u8]) -> HttpParse {
+    let Some(end) = buf.windows(4).position(|w| w == b"\r\n\r\n") else {
+        return HttpParse::Partial;
+    };
+    let Ok(head) = std::str::from_utf8(&buf[..end]) else {
+        return HttpParse::Bad("request head is not UTF-8");
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return HttpParse::Bad("malformed request line");
+    };
+    if method.is_empty() || target.is_empty() {
+        return HttpParse::Bad("malformed request line");
+    }
+    if !version.starts_with("HTTP/1.") {
+        return HttpParse::Bad("unsupported HTTP version");
+    }
+    let mut close = version == "HTTP/1.0";
+    let mut has_body = false;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                close = true;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                close = false;
+            }
+        } else if name.eq_ignore_ascii_case("content-length") {
+            has_body = value != "0";
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            has_body = true;
+        }
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    HttpParse::Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        query: query.to_string(),
+        close,
+        has_body,
+        head_len: end + 4,
+    }
+}
+
+fn http_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Status",
+    }
+}
+
+/// Appends one full HTTP/1.1 response to the connection's write
+/// buffer; the reactor's normal flush machinery drains it.
+fn write_http_response(
+    wr: &mut Vec<u8>,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+) {
+    let connection = if close { "close" } else { "keep-alive" };
+    wr.extend_from_slice(
+        format!(
+            "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+             Content-Length: {len}\r\nConnection: {connection}\r\n\r\n",
+            reason = http_reason(status),
+            len = body.len(),
+        )
+        .as_bytes(),
+    );
+    wr.extend_from_slice(body);
+}
+
+/// Serves every complete request currently sitting in an HTTP
+/// connection's read buffer. Keep-alive (and pipelined) requests are
+/// answered in arrival order; the first fatal condition — oversized
+/// head, malformed request, declared body, or `Connection: close` —
+/// queues a final response and marks the connection for reaping once
+/// the write buffer drains.
+fn service_http(
+    rd: &mut BytesMut,
+    wr: &mut Vec<u8>,
+    read_closed: &mut bool,
+    http: &mut HttpConnState,
+    requests: &Counter,
+) {
+    loop {
+        if http.close_after_flush {
+            // The conversation is over; discard anything else the
+            // client optimistically pipelined.
+            rd.clear();
+            return;
+        }
+        match parse_http_head(rd) {
+            HttpParse::Partial => {
+                if rd.len() > MAX_HTTP_HEAD {
+                    write_http_response(wr, 431, "text/plain", b"request head too large\n", true);
+                    http.close_after_flush = true;
+                    *read_closed = true;
+                    rd.clear();
+                }
+                return;
+            }
+            HttpParse::Bad(msg) => {
+                let body = format!("bad request: {msg}\n");
+                write_http_response(wr, 400, "text/plain", body.as_bytes(), true);
+                http.close_after_flush = true;
+                *read_closed = true;
+                rd.clear();
+                return;
+            }
+            HttpParse::Request { method, path, query, close, has_body, head_len } => {
+                let _ = rd.split_to(head_len);
+                requests.inc();
+                if has_body {
+                    write_http_response(
+                        wr,
+                        400,
+                        "text/plain",
+                        b"request bodies are not supported\n",
+                        true,
+                    );
+                    http.close_after_flush = true;
+                    *read_closed = true;
+                    rd.clear();
+                    return;
+                }
+                let resp = if method == "GET" {
+                    http.handler.handle(&path, &query)
+                } else {
+                    HttpResponse::text(405, &b"only GET is supported\n"[..])
+                };
+                write_http_response(wr, resp.status, resp.content_type, &resp.body, close);
+                if close {
+                    http.close_after_flush = true;
+                    *read_closed = true;
+                    rd.clear();
+                    return;
+                }
+            }
         }
     }
 }
@@ -444,6 +729,7 @@ impl Core {
             frames_delivered: 0,
             read_closed: false,
             write_dead: false,
+            kind: ConnKind::Framed,
         };
         let token = self.insert(Entry::Conn(conn));
         #[cfg(target_os = "linux")]
@@ -456,10 +742,17 @@ impl Core {
         Ok(token)
     }
 
-    fn register_listener(&mut self, listener: TcpListener) -> io::Result<Token> {
+    fn register_listener(
+        &mut self,
+        listener: TcpListener,
+        http: Option<Arc<dyn HttpHandler>>,
+    ) -> io::Result<Token> {
         listener.set_nonblocking(true)?;
-        let token =
-            self.insert(Entry::Listener(ListenerState { listener, accepted: VecDeque::new() }));
+        let token = self.insert(Entry::Listener(ListenerState {
+            listener,
+            accepted: VecDeque::new(),
+            http,
+        }));
         #[cfg(target_os = "linux")]
         if let Poller::Epoll(ep) = &self.poller {
             if let Some(Some(Entry::Listener(l))) = self.slab.get(token.0) {
@@ -543,6 +836,7 @@ impl Core {
     fn read_conn(&mut self, t: Token) -> usize {
         let m_bytes_rx = &self.metrics.bytes_rx;
         let m_frames_rx = &self.metrics.frames_rx;
+        let m_http_requests = &self.metrics.http_requests;
         let Some(Some(Entry::Conn(conn))) = self.slab.get_mut(t.0) else { return 0 };
         if conn.read_closed {
             return 0;
@@ -572,6 +866,13 @@ impl Core {
                     break;
                 }
             }
+        }
+        if let ConnKind::Http(http) = &mut conn.kind {
+            // Operator traffic: answer complete requests straight from
+            // the buffer; the turn's flush machinery sends responses.
+            service_http(&mut conn.rd, &mut conn.wr, &mut conn.read_closed, http, m_http_requests);
+            m_bytes_rx.add(total as u64);
+            return total;
         }
         // Frame reassembly: the same `u32 BE length | payload` framing
         // as FramedTcp, decoded incrementally — a length prefix or
@@ -616,11 +917,30 @@ impl Core {
             }
         }
         let n = accepted.len();
+        let http = match self.slab.get(t.0) {
+            Some(Some(Entry::Listener(l))) => l.http.clone(),
+            _ => None,
+        };
         for stream in accepted {
             if let Ok(token) = self.register_stream(stream, None) {
-                if let Some(Some(Entry::Listener(l))) = self.slab.get_mut(t.0) {
-                    l.accepted.push_back(token);
-                    self.metrics.accepts.inc();
+                match &http {
+                    // HTTP listeners serve their connections in-loop;
+                    // nobody claims them through accept().
+                    Some(handler) => {
+                        if let Some(conn) = self.conn(token) {
+                            conn.kind = ConnKind::Http(HttpConnState {
+                                handler: handler.clone(),
+                                close_after_flush: false,
+                            });
+                        }
+                        self.metrics.accepts.inc();
+                    }
+                    None => {
+                        if let Some(Some(Entry::Listener(l))) = self.slab.get_mut(t.0) {
+                            l.accepted.push_back(token);
+                            self.metrics.accepts.inc();
+                        }
+                    }
                 }
             }
         }
@@ -664,6 +984,30 @@ impl Core {
             }
         }
         self.ready = ready;
+        // Reap finished HTTP connections: the reactor itself owns them
+        // (no ReactorLink ever closes them), so a conversation whose
+        // final response has flushed — or whose peer hung up — frees
+        // its slab slot here instead of leaking it.
+        let dead: Vec<usize> = self
+            .slab
+            .iter()
+            .enumerate()
+            .filter_map(|(i, entry)| match entry {
+                Some(Entry::Conn(c)) => match &c.kind {
+                    ConnKind::Http(h) => {
+                        let flushed = c.pending_write() == 0;
+                        let done =
+                            c.write_dead || (flushed && (c.read_closed || h.close_after_flush));
+                        done.then_some(i)
+                    }
+                    ConnKind::Framed => None,
+                },
+                _ => None,
+            })
+            .collect();
+        for i in dead {
+            self.close_conn(Token(i));
+        }
         if progress == 0 && timeout_ms > 0 && matches!(self.poller, Poller::Sweep) {
             // The sweep backend has no blocking wait; yield briefly so a
             // quiescence-driving caller does not spin a core while the
@@ -774,6 +1118,13 @@ impl Reactor {
         self.lock().live_conns()
     }
 
+    /// High-water mark of the registration slab (live + vacated slots).
+    /// Vacated slots are recycled through a free list, so this stays
+    /// flat under connection churn — pinned by `tests/reactor.rs`.
+    pub fn slot_count(&self) -> usize {
+        self.lock().slab.len()
+    }
+
     /// Builds a connected loopback pair registered with this reactor.
     /// The two links know each other, so `try_recv` on either side can
     /// drive the loop to quiescence — the property the orchestrator's
@@ -810,7 +1161,27 @@ impl Reactor {
     pub fn bind(&self, addr: &str) -> io::Result<ReactorListener> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let token = self.lock().register_listener(listener)?;
+        let token = self.lock().register_listener(listener, None)?;
+        Ok(ReactorListener { core: self.core.clone(), token, local_addr })
+    }
+
+    /// Binds an operator HTTP listener on this reactor: connections it
+    /// accepts speak HTTP/1.1 (keep-alive, `GET` only, bounded request
+    /// heads) and are served by `handler` during normal reactor turns —
+    /// the same thread that multiplexes the framed E2/A1 sessions.
+    /// Dropping the returned listener stops accepting; in-flight
+    /// connections finish their current exchange and are reaped.
+    ///
+    /// # Errors
+    /// An [`io::Error`] from binding or registering the listener.
+    pub fn bind_http(
+        &self,
+        addr: &str,
+        handler: Arc<dyn HttpHandler>,
+    ) -> io::Result<ReactorListener> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let token = self.lock().register_listener(listener, Some(handler))?;
         Ok(ReactorListener { core: self.core.clone(), token, local_addr })
     }
 

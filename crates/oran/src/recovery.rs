@@ -44,6 +44,8 @@
 
 use crate::chaos::LinkId;
 use edgebol_metrics::{Counter, Gauge, Histogram, Registry};
+use edgebol_trace::{Journal, Layer};
+use std::sync::Arc;
 
 /// What happens once the retry budget is exhausted and the circuit
 /// latches open.
@@ -225,6 +227,9 @@ pub struct Supervisor {
     m_backoff: Histogram,
     m_state: Gauge,
     m_trips: Counter,
+    /// Optional event journal receiving one event per circuit
+    /// transition (see [`Supervisor::set_journal`]).
+    journal: Option<Arc<Journal>>,
 }
 
 /// Backoff histogram buckets: the default policy caps at 8 periods, but
@@ -240,6 +245,19 @@ impl Supervisor {
     /// A supervisor mirroring transitions into `metrics` (see the module
     /// docs for the series it records).
     pub fn new_instrumented(policy: RecoveryPolicy, metrics: &Registry) -> Self {
+        metrics.describe(
+            "edgebol_oran_reconnects_total",
+            "Reconnect attempts, by lost link and outcome",
+        );
+        metrics.describe("edgebol_oran_backoff_periods", "Backoff episode lengths in periods");
+        metrics.describe(
+            "edgebol_oran_circuit_state",
+            "Circuit state (0 connected, 1 backoff, 2 open, 3 half-open)",
+        );
+        metrics.describe(
+            "edgebol_oran_watchdog_trips_total",
+            "KPI-silence watchdog trips that forced a reconnect",
+        );
         let reconnect = |link: &'static str, outcome: &'static str| {
             metrics.counter_with(
                 "edgebol_oran_reconnects_total",
@@ -262,9 +280,23 @@ impl Supervisor {
             m_backoff: metrics.histogram("edgebol_oran_backoff_periods", BACKOFF_BOUNDS),
             m_state: metrics.gauge("edgebol_oran_circuit_state"),
             m_trips: metrics.counter("edgebol_oran_watchdog_trips_total"),
+            journal: None,
         };
         s.m_state.set(0.0);
         s
+    }
+
+    /// Attaches an event journal: every circuit transition (session
+    /// loss, resync outcome, watchdog trip) is recorded under
+    /// [`Layer::Recovery`] in addition to the metrics mirrors.
+    pub fn set_journal(&mut self, journal: Arc<Journal>) {
+        self.journal = Some(journal);
+    }
+
+    fn journal_event(&self, kind: &'static str, period: u64, fields: Vec<(&'static str, String)>) {
+        if let Some(j) = &self.journal {
+            j.record(Layer::Recovery, kind, Some(period), fields);
+        }
     }
 
     /// The policy this supervisor runs.
@@ -347,11 +379,16 @@ impl Supervisor {
         self.m_backoff.observe(wait as f64);
         self.state = CircuitState::Backoff { attempt: 0, retry_at: period + wait };
         self.m_state.set(self.state.gauge_value());
+        self.journal_event(
+            "connection_lost",
+            period,
+            vec![("link", link.label().to_string()), ("retry_at", (period + wait).to_string())],
+        );
     }
 
     /// Reports a successful resync: the circuit closes and a new session
     /// epoch begins.
-    pub fn on_resync_ok(&mut self, _period: u64) {
+    pub fn on_resync_ok(&mut self, period: u64) {
         self.epoch += 1;
         self.kpi_silent = 0;
         self.reconnects_ok += 1;
@@ -361,6 +398,11 @@ impl Supervisor {
         }
         self.state = CircuitState::Connected;
         self.m_state.set(self.state.gauge_value());
+        self.journal_event(
+            "resync_ok",
+            period,
+            vec![("link", self.lost_link.label().to_string()), ("epoch", self.epoch.to_string())],
+        );
     }
 
     /// Reports a failed resync attempt at `period`: schedules the next
@@ -378,15 +420,37 @@ impl Supervisor {
             CircuitState::Open { .. } => {
                 self.state = CircuitState::Open { probe_at: period + self.policy.probe_every };
                 self.m_state.set(self.state.gauge_value());
+                self.journal_event(
+                    "probe_failed",
+                    period,
+                    vec![("link", self.lost_link.label().to_string())],
+                );
             }
             CircuitState::Backoff { attempt, .. } => {
                 let next = attempt + 1;
                 if next >= self.policy.max_retries {
                     self.state = CircuitState::Open { probe_at: period + self.policy.probe_every };
+                    self.journal_event(
+                        "circuit_open",
+                        period,
+                        vec![
+                            ("link", self.lost_link.label().to_string()),
+                            ("attempts", next.to_string()),
+                        ],
+                    );
                 } else {
                     let wait = self.policy.backoff(next);
                     self.m_backoff.observe(wait as f64);
                     self.state = CircuitState::Backoff { attempt: next, retry_at: period + wait };
+                    self.journal_event(
+                        "resync_failed",
+                        period,
+                        vec![
+                            ("link", self.lost_link.label().to_string()),
+                            ("attempt", next.to_string()),
+                            ("retry_at", (period + wait).to_string()),
+                        ],
+                    );
                 }
                 self.m_state.set(self.state.gauge_value());
             }
@@ -417,6 +481,7 @@ impl Supervisor {
         self.lost_link = LinkId::E2;
         self.state = CircuitState::Backoff { attempt: 0, retry_at: period + 1 };
         self.m_state.set(self.state.gauge_value());
+        self.journal_event("watchdog_trip", period, vec![("link", "E2".to_string())]);
         true
     }
 }

@@ -395,6 +395,14 @@ impl RicServer {
     pub fn bind(addr: &str, kpi_period_ms: u32, metrics: Registry) -> Result<Self, OranError> {
         let reactor = Reactor::new_instrumented(metrics.clone())?;
         let listener = reactor.bind(addr)?;
+        metrics.describe("edgebol_oran_ricserver_periods_total", "RicServer poll calls");
+        metrics.describe("edgebol_oran_ricserver_kpi_total", "KPI reports received from E2 nodes");
+        metrics.describe("edgebol_oran_ricserver_acks_total", "Control acknowledgements received");
+        metrics.describe(
+            "edgebol_oran_ricserver_sessions_closed_total",
+            "E2 sessions reaped on hangup",
+        );
+        metrics.describe("edgebol_oran_ricserver_sessions", "E2 sessions currently subscribed");
         Ok(RicServer {
             reactor,
             listener,
@@ -423,6 +431,23 @@ impl RicServer {
     /// e.g. to co-register client-side links in single-process tests).
     pub fn reactor(&self) -> &Reactor {
         &self.reactor
+    }
+
+    /// Hosts the HTTP ops surface on this server's reactor: the same
+    /// thread that multiplexes every E2 session also answers operator
+    /// `GET /metrics`, `/healthz`, `/vars` and `/trace` — no extra
+    /// thread, no extra event loop. Keep the returned listener alive for
+    /// as long as the endpoint should accept connections; requests are
+    /// serviced inside [`RicServer::poll`]'s reactor turn.
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn serve_ops(
+        &self,
+        addr: &str,
+        state: crate::ops::OpsState,
+    ) -> std::io::Result<ReactorListener> {
+        crate::ops::serve_on(&self.reactor, addr, state)
     }
 
     /// One server round: drive a reactor turn (flush + readiness +
@@ -728,5 +753,77 @@ mod tests {
         assert_eq!(snap.counter("edgebol_oran_ricserver_kpi_total"), Some(NODES as u64));
         assert_eq!(snap.counter("edgebol_oran_ricserver_acks_total"), Some(NODES as u64));
         assert!(snap.counter("edgebol_oran_ricserver_periods_total").unwrap_or(0) > 0);
+    }
+
+    /// Minimal blocking HTTP client for the ops tests: one GET, read to
+    /// EOF (`Connection: close`), return (status, body).
+    fn ops_get(addr: &str, path: &str) -> (u16, String) {
+        use std::io::{Read, Write};
+        let mut s = std::net::TcpStream::connect(addr).expect("ops connect");
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").expect("send");
+        let mut raw = String::new();
+        s.read_to_string(&mut raw).expect("read");
+        let status = raw.split_whitespace().nth(1).expect("status").parse().expect("code");
+        let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn ric_server_hosts_ops_surface_on_the_same_reactor() {
+        use crate::ops::OpsState;
+        use crate::transport::FramedTcp;
+        use std::time::{Duration, Instant};
+
+        let reg = Registry::new();
+        let mut server = RicServer::bind("127.0.0.1:0", 1_000, reg.clone()).expect("bind");
+        let ops = server.serve_ops("127.0.0.1:0", OpsState::new(reg.clone())).expect("ops bind");
+        let ops_addr = ops.local_addr().to_string();
+        let e2_addr = server.local_addr().to_string();
+
+        // One E2 node and one operator, both served by the same poll
+        // loop on this thread — no thread is spawned server-side. The
+        // node holds its connection open until released so the session
+        // is provably alive while the HTTP traffic flows.
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let node = std::thread::spawn(move || {
+            let mut tcp = FramedTcp::connect(&e2_addr).expect("connect");
+            let mut buf = BytesMut::new();
+            buf.extend_from_slice(&tcp.recv().expect("sub req"));
+            match E2Codec::decode(&mut buf).expect("decode") {
+                Some(E2Message::SubscriptionRequest { ran_function, .. }) => {
+                    let resp = E2Message::SubscriptionResponse { ran_function };
+                    tcp.send(&E2Codec::encode_to_bytes(&resp)).expect("sub resp");
+                }
+                other => panic!("expected subscription, got {other:?}"),
+            }
+            let kpi = E2Message::Indication(KpiReport {
+                t_ms: 1,
+                bs_power_mw: 5_000,
+                duty_milli: 0,
+                mean_mcs_centi: 0,
+            });
+            tcp.send(&E2Codec::encode_to_bytes(&kpi)).expect("kpi");
+            release_rx.recv().ok();
+        });
+        let operator = std::thread::spawn(move || {
+            let (code, metrics) = ops_get(&ops_addr, "/metrics");
+            let (hcode, health) = ops_get(&ops_addr, "/healthz");
+            (code, metrics, hcode, health)
+        });
+
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut kpis = 0;
+        while !(operator.is_finished() && kpis >= 1) {
+            kpis += server.poll(1).kpis;
+            assert!(Instant::now() < deadline, "stalled: kpis={kpis}");
+        }
+        assert_eq!(server.session_count(), 1, "the E2 session outlives the HTTP churn");
+        release_tx.send(()).ok();
+        node.join().expect("node thread");
+        let (code, metrics, hcode, health) = operator.join().expect("operator thread");
+        assert_eq!(code, 200);
+        assert!(metrics.contains("edgebol_oran_ricserver_periods_total"), "{metrics}");
+        assert_eq!(hcode, 200);
+        assert!(health.contains("circuit=connected"), "{health}");
     }
 }

@@ -30,8 +30,8 @@ use edgebol_core::problem::ProblemSpec;
 use edgebol_core::trace::Trace;
 use edgebol_metrics::Registry;
 use edgebol_oran::{
-    ChaosConfig, E2Codec, E2Message, FramedTcp, KpiReport, RadioPolicy, Reactor, ReactorBackend,
-    RicServer, TransportKind,
+    ChaosConfig, E2Codec, E2Message, FramedTcp, KpiReport, OpsServer, OpsState, RadioPolicy,
+    Reactor, ReactorBackend, RicServer, TransportKind,
 };
 use edgebol_testbed::{Calibration, FlowTestbed, Scenario};
 
@@ -198,6 +198,159 @@ fn one_reactor_thread_sustains_a_hundred_e2_sessions() {
         elapsed.as_secs_f64(),
         periods as f64 / elapsed.as_secs_f64().max(1e-9),
     );
+}
+
+/// One blocking HTTP GET: connect, request with `Connection: close`,
+/// read to EOF. Returns (status code, body).
+fn ops_get(addr: &str, path: &str) -> (u16, String) {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).expect("ops connect");
+    write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").expect("send");
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read");
+    let status = raw.split_whitespace().nth(1).expect("status").parse().expect("code");
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn http_churn_recycles_slots_without_disturbing_live_e2_sessions() {
+    use std::time::{Duration, Instant};
+
+    // 100+ sequential operator connections (each a full
+    // connect/request/close cycle) hammer the ops surface of a RicServer
+    // whose reactor is simultaneously holding a live, subscribed E2
+    // session. The slab must recycle the vacated HTTP slots through its
+    // free list — not grow — and the E2 session must survive untouched.
+    const CHURN: usize = 120;
+
+    let reg = Registry::new();
+    let mut server = RicServer::bind("127.0.0.1:0", 1_000, reg.clone()).expect("bind");
+    let ops = server.serve_ops("127.0.0.1:0", OpsState::new(reg.clone())).expect("ops bind");
+    let ops_addr = ops.local_addr().to_string();
+    let e2_addr = server.local_addr().to_string();
+
+    // The node subscribes, reports one KPI, then holds its connection
+    // open until released — provably alive across the whole churn.
+    let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+    let node = std::thread::spawn(move || {
+        let mut tcp = FramedTcp::connect(&e2_addr).expect("connect");
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&tcp.recv().expect("sub req"));
+        match E2Codec::decode(&mut buf).expect("decode sub") {
+            Some(E2Message::SubscriptionRequest { ran_function, .. }) => {
+                let resp = E2Message::SubscriptionResponse { ran_function };
+                tcp.send(&E2Codec::encode_to_bytes(&resp)).expect("sub resp");
+            }
+            other => panic!("expected subscription, got {other:?}"),
+        }
+        let kpi = E2Message::Indication(KpiReport {
+            t_ms: 1,
+            bs_power_mw: 5_000,
+            duty_milli: 500,
+            mean_mcs_centi: 2_000,
+        });
+        tcp.send(&E2Codec::encode_to_bytes(&kpi)).expect("kpi");
+        // The post-churn policy fan-out: answer it, then hold the
+        // connection open until the main thread is done asserting.
+        buf.extend_from_slice(&tcp.recv().expect("ctrl"));
+        match E2Codec::decode(&mut buf).expect("decode ctrl") {
+            Some(E2Message::ControlRequest { .. }) => {
+                tcp.send(&E2Codec::encode_to_bytes(&E2Message::ControlAck)).expect("ack");
+            }
+            other => panic!("expected control, got {other:?}"),
+        }
+        release_rx.recv().expect("released");
+    });
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut kpis = 0;
+    while server.subscribed_count() < 1 || kpis < 1 {
+        kpis += server.poll(1).kpis;
+        assert!(Instant::now() < deadline, "E2 session never came up");
+    }
+    let baseline_conns = server.reactor().connections();
+    let baseline_slots = server.reactor().slot_count();
+    assert_eq!(baseline_conns, 1, "exactly the E2 session");
+
+    let churner = std::thread::spawn(move || {
+        for i in 0..CHURN {
+            let (code, body) = ops_get(&ops_addr, "/healthz");
+            assert_eq!(code, 200, "churn request {i}");
+            assert!(body.starts_with("ok"), "churn request {i}: {body:?}");
+        }
+    });
+    while !churner.is_finished() {
+        server.poll(1);
+        assert!(Instant::now() < deadline, "churn stalled");
+    }
+    churner.join().expect("churn thread");
+
+    // Drain until the last HTTP connection is reaped, then the slab must
+    // be back at its pre-churn shape: same live connections, and at most
+    // two extra high-water slots (a fresh accept can land in the same
+    // turn before the finished conversation's reap runs) despite 100+
+    // registrations having cycled through.
+    while server.reactor().connections() > baseline_conns {
+        server.poll(1);
+        assert!(Instant::now() < deadline, "hangup reaping stalled");
+    }
+    assert_eq!(server.reactor().connections(), baseline_conns);
+    assert!(
+        server.reactor().slot_count() <= baseline_slots + 2,
+        "slab grew under churn: {} slots from a baseline of {baseline_slots}",
+        server.reactor().slot_count()
+    );
+
+    // The session rode out the storm: still subscribed, still answering.
+    assert_eq!(server.session_count(), 1);
+    assert_eq!(server.broadcast_policy(RadioPolicy { airtime: 0.5, max_mcs: 20 }), 1);
+    let mut acks = 0;
+    while acks < 1 {
+        acks += server.poll(1).acks;
+        assert!(Instant::now() < deadline, "ack after churn stalled");
+    }
+    release_tx.send(()).expect("release");
+    node.join().expect("node thread");
+
+    let snap = reg.snapshot();
+    assert_eq!(
+        snap.counter("edgebol_oran_reactor_http_requests_total"),
+        Some(CHURN as u64),
+        "every churn request was served by the reactor's HTTP path"
+    );
+    assert!(
+        snap.counter("edgebol_oran_reactor_accepts_total").unwrap_or(0) >= (CHURN + 1) as u64,
+        "accepts must cover the E2 node and every churn connection"
+    );
+}
+
+#[test]
+fn fixed_seed_episode_is_unperturbed_by_http_churn() {
+    // The bench wiring: the figure episode runs over the reactor
+    // transport while an in-process ops surface absorbs an operator's
+    // connect/request/close storm. The episode's trace must stay
+    // f64-bit-identical to a quiet-process run of the same seed.
+    const CHURN: usize = 120;
+    let seed = 5 + seed_offset();
+
+    let mut quiet = build(seed, ChaosConfig::disabled(), TransportKind::Reactor);
+    let t_quiet = quiet.try_run(40).expect("quiet run");
+
+    let reg = Registry::new();
+    let ops = OpsServer::spawn("127.0.0.1:0", OpsState::new(reg)).expect("ops server");
+    let ops_addr = ops.local_addr().to_string();
+    let churner = std::thread::spawn(move || {
+        for i in 0..CHURN {
+            let (code, _) = ops_get(&ops_addr, if i % 2 == 0 { "/healthz" } else { "/metrics" });
+            assert_eq!(code, 200, "churn request {i}");
+        }
+    });
+    let mut stormy = build(seed, ChaosConfig::disabled(), TransportKind::Reactor);
+    let t_stormy = stormy.try_run(40).expect("run under churn");
+    churner.join().expect("churn thread");
+
+    assert_bit_identical(&t_quiet, &t_stormy);
 }
 
 #[test]
