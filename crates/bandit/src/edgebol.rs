@@ -25,7 +25,7 @@
 
 use crate::api::{Constraints, Feedback, GridAgent};
 use crate::grid::ControlGrid;
-use edgebol_gp::{nelder_mead, GaussianProcess, Kernel, NelderMeadOptions};
+use edgebol_gp::{nelder_mead, EvictStrategy, GaussianProcess, Kernel, NelderMeadOptions};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
@@ -74,6 +74,11 @@ pub struct EdgeBolConfig {
     pub fit_hyperparams: bool,
     /// Sliding-window cap on retained observations (None = keep all).
     pub max_observations: Option<usize>,
+    /// Window-eviction strategy override. `None` defers to the
+    /// `EDGEBOL_GP_EVICT` environment knob (default: the `O(W^2)`
+    /// delete-row downdate); the equivalence tests pin both strategies
+    /// explicitly to compare them in one process.
+    pub gp_evict: Option<EvictStrategy>,
     /// Candidate subsample size per period (None = full grid).
     pub candidate_subsample: Option<usize>,
     /// Acquisition rule (EdgeBOL: `ConstrainedLcb`).
@@ -107,6 +112,7 @@ impl EdgeBolConfig {
             s0_threshold: 0.8,
             fit_hyperparams: true,
             max_observations: Some(800),
+            gp_evict: None,
             candidate_subsample: Some(2048),
             acquisition: Acquisition::ConstrainedLcb,
             default_lengthscale: 0.4,
@@ -159,6 +165,9 @@ pub struct EdgeBol {
     noise_std_raw: [f64; 3],
     /// Recently selected controls kept in every candidate set.
     elites: Vec<usize>,
+    /// Reused flat candidate-matrix buffer for the batched posterior
+    /// (avoids one `|cand| * dims` allocation per function per period).
+    z_scratch: Vec<f64>,
     rng: SmallRng,
     /// Updates received so far.
     t: usize,
@@ -188,6 +197,7 @@ impl EdgeBol {
             s0,
             warmup_box,
             elites: Vec::new(),
+            z_scratch: Vec::new(),
             rng,
             t: 0,
             constraints,
@@ -245,16 +255,18 @@ impl EdgeBol {
     /// (unstandardized) units. Returns `(means, stds)` per function.
     fn posterior(&mut self, context: &[f64], cand: &[usize]) -> [(Vec<f64>, Vec<f64>); 3] {
         let dims = self.cfg.context_dims + self.grid.dims();
-        let mut flat = Vec::with_capacity(cand.len() * dims);
+        self.z_scratch.clear();
+        self.z_scratch.reserve(cand.len() * dims);
         for &idx in cand {
-            flat.extend(self.grid.z_vector(context, idx));
+            self.grid.write_z(context, idx, &mut self.z_scratch);
         }
+        let flat = &self.z_scratch;
         let scales = self.scales.expect("posterior requires built GPs");
         let gps = self.gps.as_mut().expect("posterior requires built GPs");
         let mut out: [(Vec<f64>, Vec<f64>); 3] =
             [(Vec::new(), Vec::new()), (Vec::new(), Vec::new()), (Vec::new(), Vec::new())];
         for (i, gp) in gps.iter_mut().enumerate() {
-            let (m, s) = gp.predict_batch(&flat);
+            let (m, s) = gp.predict_batch(flat);
             let scale = scales[i];
             out[i] = (
                 m.into_iter().map(|v| scale.mean_from_scaled(v)).collect(),
@@ -408,6 +420,9 @@ impl EdgeBol {
             next += 1;
             if let Some(cap) = self.cfg.max_observations {
                 gp = gp.with_max_observations(cap);
+            }
+            if let Some(strategy) = self.cfg.gp_evict {
+                gp = gp.with_evict_strategy(strategy);
             }
             gp
         });

@@ -120,9 +120,26 @@ impl ControlGrid {
     /// Flattens a `(context, control)` pair into the GP input
     /// `z = (c, x)`.
     pub fn z_vector(&self, context: &[f64], control_idx: usize) -> Vec<f64> {
-        let mut z = context.to_vec();
-        z.extend(self.coords(control_idx));
+        let mut z = Vec::with_capacity(context.len() + self.dims);
+        self.write_z(context, control_idx, &mut z);
         z
+    }
+
+    /// Appends the GP input `z = (c, x)` for one control onto `out`
+    /// without allocating — the batched-posterior hot path builds the flat
+    /// candidate matrix through this.
+    ///
+    /// # Panics
+    /// Panics if `control_idx >= self.len()`.
+    pub fn write_z(&self, context: &[f64], control_idx: usize, out: &mut Vec<f64>) {
+        assert!(control_idx < self.len(), "grid index out of range");
+        out.extend_from_slice(context);
+        let mut rem = control_idx;
+        for _ in 0..self.dims {
+            let level = rem % self.levels;
+            rem /= self.levels;
+            out.push(level as f64 / (self.levels - 1) as f64);
+        }
     }
 }
 
@@ -194,6 +211,20 @@ mod tests {
         assert_eq!(z.len(), 7);
         assert_eq!(&z[..3], &[0.5, 0.25, 0.0]);
         assert!(z[3..].iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn write_z_appends_and_matches_z_vector() {
+        let g = ControlGrid::paper();
+        let ctx = [0.5, 0.25, 0.0];
+        let mut flat = vec![9.0]; // pre-existing content must survive
+        for idx in [0, 1, 121, 7_777, 14_640] {
+            g.write_z(&ctx, idx, &mut flat);
+        }
+        assert_eq!(flat[0], 9.0);
+        for (k, idx) in [0, 1, 121, 7_777, 14_640].into_iter().enumerate() {
+            assert_eq!(&flat[1 + k * 7..1 + (k + 1) * 7], &g.z_vector(&ctx, idx)[..]);
+        }
     }
 
     #[test]

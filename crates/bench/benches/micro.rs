@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use edgebol_bandit::{Constraints, Ddpg, DdpgConfig};
-use edgebol_gp::{GaussianProcess, Kernel};
+use edgebol_gp::{EvictStrategy, GaussianProcess, Kernel};
 use edgebol_linalg::{Cholesky, Mat};
 use edgebol_media::{Dataset, DetectorModel};
 use edgebol_oran::{E2Codec, E2Message, KpiReport};
@@ -34,6 +34,17 @@ fn bench_linalg(c: &mut Criterion) {
     c.bench_function("cholesky_append_row_150", |b| {
         b.iter_with_setup(|| base.clone(), |mut ch| ch.append(black_box(&cross), 1.2).unwrap())
     });
+
+    let big = Cholesky::factor(&spd(200)).unwrap();
+    c.bench_function("cholesky_delete_row_200", |b| {
+        b.iter(|| black_box(&big).delete_row(0).unwrap())
+    });
+
+    let l = big.factor_l();
+    let rhs = Mat::from_fn(200, 64, |i, j| ((i * 3 + j) % 17) as f64 * 0.1 - 0.8);
+    c.bench_function("solve_lower_mat_200x64", |b| {
+        b.iter(|| edgebol_linalg::solve_lower_mat(black_box(l), black_box(&rhs)))
+    });
 }
 
 fn trained_gp(n: usize) -> GaussianProcess {
@@ -41,10 +52,12 @@ fn trained_gp(n: usize) -> GaussianProcess {
 }
 
 /// A GP whose sliding window is exactly full: the next `observe` pays the
-/// evict + full-refactorization path, not just the bordered append.
-fn trained_gp_at_cap(cap: usize) -> GaussianProcess {
+/// evict path for the given strategy, then the bordered append.
+fn trained_gp_at_cap(cap: usize, strategy: EvictStrategy) -> GaussianProcess {
     fill_gp(
-        GaussianProcess::new(Kernel::matern32(4.0, vec![0.4; 7]), 0.02).with_max_observations(cap),
+        GaussianProcess::new(Kernel::matern32(4.0, vec![0.4; 7]), 0.02)
+            .with_max_observations(cap)
+            .with_evict_strategy(strategy),
         cap,
     )
 }
@@ -75,14 +88,23 @@ fn bench_gp(c: &mut Criterion) {
             |mut gp| gp.observe(black_box(&[0.5; 7]), 1.0).unwrap(),
         )
     });
-    // The steady-state cost once the sliding window is full: every observe
-    // first evicts the oldest point (O(T²) kernel rebuild + O(T³/3) full
-    // re-factorization) and only then pays the O(T²) bordered append. This
-    // is the per-period GP budget of a long-running deployment, where
-    // `gp_observe_T200` above is only the warm-up-phase cost.
+    // The steady-state cost once the sliding window is full, on the
+    // default O(T²) delete-row downdate: evict + bordered append, the
+    // per-period GP budget of a long-running deployment.
+    c.bench_function("gp_evict_downdate_T200", |b| {
+        b.iter_with_setup(
+            || trained_gp_at_cap(200, EvictStrategy::Downdate),
+            |mut gp| gp.observe(black_box(&[0.5; 7]), 1.0).unwrap(),
+        )
+    });
+    // The pre-downdate behaviour, pinned to the rebuild strategy: every
+    // observe first evicts the oldest point (O(T²) kernel rebuild +
+    // O(T³/3) full re-factorization) and only then pays the O(T²)
+    // bordered append. Kept as the baseline the perf gate (`perf_gate`
+    // bin) measures the downdate's speedup against.
     c.bench_function("gp_observe_evict_refactor_T200", |b| {
         b.iter_with_setup(
-            || trained_gp_at_cap(200),
+            || trained_gp_at_cap(200, EvictStrategy::Rebuild),
             |mut gp| gp.observe(black_box(&[0.5; 7]), 1.0).unwrap(),
         )
     });

@@ -24,7 +24,13 @@
 //! | `EDGEBOL_TRANSPORT`   | [`transport`]   | `poll` (default) / `reactor`   |
 //! | `EDGEBOL_OPS`         | [`ops_addr`]    | `<ip>:<port>` to serve ops on  |
 //! | `EDGEBOL_FLIGHT_DIR`  | [`flight_dir`]  | directory for crash dumps      |
+//! | `EDGEBOL_GP_EVICT`    | `EvictStrategy::from_env` (edgebol-gp) | `downdate` (default) / `rebuild` |
 //! | `EDGEBOL_REPS` etc.   | [`usize_knob`]  | non-negative integer           |
+//!
+//! (`EDGEBOL_GP_EVICT` is parsed by `edgebol_gp::EvictStrategy` rather
+//! than here — the GP layer cannot depend on the bench crate — but
+//! follows the same fail-fast convention. The `perf_gate` bin's
+//! `EDGEBOL_GATE_*` bounds go through [`usize_knob`].)
 
 use crate::MetricsMode;
 use edgebol_oran::{ChaosConfig, FallbackMode, TransportKind};

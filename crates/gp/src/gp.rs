@@ -3,6 +3,68 @@
 use crate::{GpError, Kernel};
 use edgebol_linalg::{vecops, Cholesky, Mat};
 
+/// How [`GaussianProcess::observe`] makes room when the sliding window is
+/// full.
+///
+/// The default comes from the `EDGEBOL_GP_EVICT` environment knob
+/// (`downdate` when unset), read once per GP construction so a process can
+/// host GPs with different strategies (the equivalence tests rely on
+/// this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictStrategy {
+    /// `O(W^2)` delete-row Cholesky downdate ([`Cholesky::delete_row`]).
+    /// Falls back to a jittered refactorization if the downdate reports
+    /// loss of positive-definiteness (possible only for degenerate or
+    /// non-finite factors).
+    Downdate,
+    /// `O(W^3)` from-scratch refactorization of the shrunken window — the
+    /// pre-downdate behaviour, kept as an escape hatch
+    /// (`EDGEBOL_GP_EVICT=rebuild`) and as the oracle the equivalence
+    /// battery compares the fast path against.
+    Rebuild,
+}
+
+impl EvictStrategy {
+    /// Parses an `EDGEBOL_GP_EVICT` value.
+    fn parse(v: &str) -> Result<Self, &'static str> {
+        match v {
+            "downdate" => Ok(EvictStrategy::Downdate),
+            "rebuild" => Ok(EvictStrategy::Rebuild),
+            _ => Err("\"downdate\" or \"rebuild\""),
+        }
+    }
+
+    /// Reads `EDGEBOL_GP_EVICT`: [`EvictStrategy::Downdate`] when unset or
+    /// blank.
+    ///
+    /// # Panics
+    /// Panics on a malformed value, following the workspace-wide knob
+    /// convention (`invalid EDGEBOL_<NAME> value "...": expected <what>`).
+    pub fn from_env() -> Self {
+        match std::env::var("EDGEBOL_GP_EVICT") {
+            Ok(v) if !v.trim().is_empty() => match Self::parse(v.trim()) {
+                Ok(s) => s,
+                Err(expected) => {
+                    panic!("invalid EDGEBOL_GP_EVICT value {v:?}: expected {expected}")
+                }
+            },
+            _ => EvictStrategy::Downdate,
+        }
+    }
+}
+
+/// Test-only fault injection for the eviction path, pinning the
+/// transactional guarantee of [`GaussianProcess::observe`]'s evict step.
+#[cfg(test)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvictFailpoint {
+    None,
+    /// The downdate reports failure (exercises the refactor fallback).
+    DowndateFails,
+    /// Every factorization attempt fails (exercises the error path).
+    AllFail,
+}
+
 /// Online exact Gaussian-process regressor.
 ///
 /// Implements the posterior of eqs. (3)–(4) of the paper:
@@ -20,9 +82,10 @@ use edgebol_linalg::{vecops, Cholesky, Mat};
 ///
 /// An optional **sliding window** (`max_observations`) bounds the cost of
 /// very long runs (e.g., the 3 000-period experiment of Fig. 14): when the
-/// window is full the oldest observation is dropped and the factor rebuilt,
-/// an `O(W^3)` operation on a bounded `W` which in practice is cheaper than
-/// letting `T` grow unboundedly.
+/// window is full the oldest observation is evicted with an `O(W^2)`
+/// delete-row Cholesky downdate (see [`EvictStrategy`]), so the at-capacity
+/// steady state costs the same order as the bordered append rather than a
+/// full `O(W^3)` refactorization every period.
 #[derive(Debug, Clone)]
 pub struct GaussianProcess {
     kernel: Kernel,
@@ -41,6 +104,11 @@ pub struct GaussianProcess {
     y_mean: f64,
     /// Optional sliding-window capacity.
     max_observations: Option<usize>,
+    /// How a full window evicts its oldest observation.
+    evict: EvictStrategy,
+    /// Injected eviction faults (tests only).
+    #[cfg(test)]
+    evict_failpoint: EvictFailpoint,
 }
 
 impl GaussianProcess {
@@ -60,6 +128,9 @@ impl GaussianProcess {
             alpha_dirty: false,
             y_mean: 0.0,
             max_observations: None,
+            evict: EvictStrategy::from_env(),
+            #[cfg(test)]
+            evict_failpoint: EvictFailpoint::None,
         }
     }
 
@@ -71,6 +142,19 @@ impl GaussianProcess {
         assert!(cap > 0, "window capacity must be positive");
         self.max_observations = Some(cap);
         self
+    }
+
+    /// Builder-style: override the eviction strategy chosen by
+    /// [`EvictStrategy::from_env`] at construction.
+    pub fn with_evict_strategy(mut self, strategy: EvictStrategy) -> Self {
+        self.evict = strategy;
+        self
+    }
+
+    /// The eviction strategy in use.
+    #[inline]
+    pub fn evict_strategy(&self) -> EvictStrategy {
+        self.evict
     }
 
     /// Number of retained observations.
@@ -133,17 +217,47 @@ impl GaussianProcess {
         Ok(())
     }
 
-    /// Drops the oldest observation and refactorizes.
+    /// Drops the oldest observation, shrinking the factor per the
+    /// configured [`EvictStrategy`].
+    ///
+    /// Transactional: the shrunken factor is computed *before* the window
+    /// is mutated, so a numerical failure leaves the model exactly in its
+    /// pre-evict state (window, factor, and cached posterior intact).
     fn evict_oldest(&mut self) -> Result<(), GpError> {
-        let d = self.kernel.dim();
-        self.xs.drain(..d);
+        let chol = self.shrunken_factor().map_err(|e| GpError::Numerical(e.to_string()))?;
+        self.chol = chol;
+        self.xs.drain(..self.kernel.dim());
         self.ys.remove(0);
-        let n = self.len();
-        let mut k = Mat::from_fn(n, n, |i, j| self.kernel.eval(self.x(i), self.x(j)));
-        k.add_diagonal(self.noise_var);
-        self.chol = Cholesky::factor(&k).map_err(|e| GpError::Numerical(e.to_string()))?;
         self.alpha_dirty = true;
         Ok(())
+    }
+
+    /// Computes the factor of the window without its oldest observation.
+    fn shrunken_factor(&self) -> edgebol_linalg::Result<Cholesky> {
+        #[cfg(test)]
+        match self.evict_failpoint {
+            EvictFailpoint::AllFail => {
+                return Err(edgebol_linalg::LinalgError::NotPositiveDefinite {
+                    pivot: 0,
+                    jitter: 0.0,
+                })
+            }
+            EvictFailpoint::DowndateFails => return self.refactor_tail(),
+            EvictFailpoint::None => {}
+        }
+        match self.evict {
+            EvictStrategy::Downdate => self.chol.delete_row(0).or_else(|_| self.refactor_tail()),
+            EvictStrategy::Rebuild => self.refactor_tail(),
+        }
+    }
+
+    /// From-scratch (jittered) factorization of rows `1..` of the window —
+    /// the rebuild strategy, and the downdate's fallback.
+    fn refactor_tail(&self) -> edgebol_linalg::Result<Cholesky> {
+        let n = self.len() - 1;
+        let mut k = Mat::from_fn(n, n, |i, j| self.kernel.eval(self.x(i + 1), self.x(j + 1)));
+        k.add_diagonal(self.noise_var);
+        Cholesky::factor(&k)
     }
 
     /// Rebuilds the cached `alpha` vector if observations changed.
@@ -441,7 +555,8 @@ mod tests {
         // From-scratch: reuse evict path by forcing a rebuild via window.
         let mut scratch =
             GaussianProcess::new(Kernel::new(KernelKind::Rbf, 1.5, vec![0.4, 0.6]), 1e-3)
-                .with_max_observations(20);
+                .with_max_observations(20)
+                .with_evict_strategy(EvictStrategy::Rebuild);
         // Observe one dummy first so the window eviction rebuilds the factor.
         scratch.observe(&[9.9, 9.9], 0.0).unwrap();
         for (x, y) in &data {
@@ -452,5 +567,92 @@ mod tests {
         let (ms, ss) = scratch.predict(&q);
         assert!((mi - ms).abs() < 1e-6, "{mi} vs {ms}");
         assert!((si - ss).abs() < 1e-6, "{si} vs {ss}");
+    }
+
+    #[test]
+    fn evict_strategy_parse_and_default() {
+        assert_eq!(EvictStrategy::parse("downdate"), Ok(EvictStrategy::Downdate));
+        assert_eq!(EvictStrategy::parse("rebuild"), Ok(EvictStrategy::Rebuild));
+        assert!(EvictStrategy::parse("fast").is_err());
+        assert!(EvictStrategy::parse("").is_err());
+        // Knob unset in the test environment: construction defaults to the
+        // downdate fast path.
+        if std::env::var("EDGEBOL_GP_EVICT").is_err() {
+            assert_eq!(toy_gp().evict_strategy(), EvictStrategy::Downdate);
+        }
+    }
+
+    /// The downdate and rebuild strategies must agree on the posterior
+    /// through many eviction cycles — the unit-level core of the
+    /// workspace-level equivalence battery.
+    #[test]
+    fn downdate_and_rebuild_windows_agree() {
+        let build = |s: EvictStrategy| {
+            GaussianProcess::new(Kernel::matern52(1.3, vec![0.4]), 1e-4)
+                .with_max_observations(8)
+                .with_evict_strategy(s)
+        };
+        let mut fast = build(EvictStrategy::Downdate);
+        let mut oracle = build(EvictStrategy::Rebuild);
+        for i in 0..40 {
+            let x = (i as f64 * 0.37).fract();
+            let y = (x * 5.0).sin() + 0.1 * (i as f64 * 0.11).cos();
+            fast.observe(&[x], y).unwrap();
+            oracle.observe(&[x], y).unwrap();
+        }
+        assert_eq!(fast.len(), 8);
+        for j in 0..25 {
+            let q = [j as f64 / 24.0];
+            let (mf, sf) = fast.predict(&q);
+            let (mo, so) = oracle.predict(&q);
+            assert!((mf - mo).abs() < 1e-9, "mean drift at {q:?}: {mf} vs {mo}");
+            assert!((sf - so).abs() < 1e-9, "std drift at {q:?}: {sf} vs {so}");
+        }
+    }
+
+    /// A failed eviction must leave the model in its pre-evict state: the
+    /// window, factor, and predictions are untouched, and the GP recovers
+    /// as soon as the fault clears.
+    #[test]
+    fn evict_failure_preserves_state() {
+        let mut gp = toy_gp().with_max_observations(5);
+        for i in 0..5 {
+            gp.observe(&[i as f64 * 0.2], i as f64).unwrap();
+        }
+        let (xs_before, ys_before) = {
+            let (xs, ys) = gp.data();
+            (xs.to_vec(), ys.to_vec())
+        };
+        let pred_before = gp.predict(&[0.5]);
+        gp.evict_failpoint = EvictFailpoint::AllFail;
+        assert!(matches!(gp.observe(&[1.5], 9.0), Err(GpError::Numerical(_))));
+        let (xs, ys) = gp.data();
+        assert_eq!(xs, &xs_before[..], "inputs must be untouched after a failed evict");
+        assert_eq!(ys, &ys_before[..], "targets must be untouched after a failed evict");
+        assert_eq!(gp.predict(&[0.5]), pred_before, "posterior must be untouched");
+        // Fault cleared: the same observation now succeeds and slides the window.
+        gp.evict_failpoint = EvictFailpoint::None;
+        gp.observe(&[1.5], 9.0).unwrap();
+        let (_, ys) = gp.data();
+        assert_eq!(ys, &[1.0, 2.0, 3.0, 4.0, 9.0]);
+    }
+
+    /// When the downdate reports failure the refactor fallback must keep
+    /// the posterior consistent with an oracle that always rebuilds.
+    #[test]
+    fn downdate_failure_falls_back_to_refactor() {
+        let mut gp = toy_gp().with_max_observations(6);
+        let mut oracle =
+            toy_gp().with_max_observations(6).with_evict_strategy(EvictStrategy::Rebuild);
+        gp.evict_failpoint = EvictFailpoint::DowndateFails;
+        for i in 0..20 {
+            let x = (i as f64 * 0.29).fract();
+            gp.observe(&[x], x * x).unwrap();
+            oracle.observe(&[x], x * x).unwrap();
+        }
+        let (m, s) = gp.predict(&[0.4]);
+        let (mo, so) = oracle.predict(&[0.4]);
+        assert!((m - mo).abs() < 1e-12);
+        assert!((s - so).abs() < 1e-12);
     }
 }

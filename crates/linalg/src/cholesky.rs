@@ -1,7 +1,8 @@
 //! Cholesky factorization of symmetric positive-definite matrices,
-//! including the incremental row/column append used by the online GP.
+//! including the incremental row/column append and delete-row downdate
+//! used by the online GP's sliding window.
 
-use crate::{solve_lower, solve_lower_mat, solve_upper, LinalgError, Mat, Result};
+use crate::{solve_lower, solve_lower_mat, solve_upper, solve_upper_mat, LinalgError, Mat, Result};
 
 /// Lower-triangular Cholesky factor `L` of an SPD matrix `A = L L^T`.
 ///
@@ -136,6 +137,85 @@ impl Cholesky {
         Ok(())
     }
 
+    /// Returns the factor of the matrix with row and column `idx` removed,
+    /// in `O(n^2)` time — the *delete-row downdate*.
+    ///
+    /// If the current factor corresponds to `A` (`n x n`), the result
+    /// factors the `(n-1) x (n-1)` matrix obtained by deleting row and
+    /// column `idx` of `A`. This is what makes the GP sliding window cheap
+    /// at steady state: evicting the oldest observation is `delete_row(0)`
+    /// instead of an `O(n^3)` refactorization.
+    ///
+    /// # Algorithm
+    /// Removing row `idx` of `L` leaves an `(n-1) x n` lower-Hessenberg
+    /// matrix `M` with `M M^T = A'` (the target matrix). A chase of Givens
+    /// rotations applied on the right — rotation `k` mixes columns `(k,
+    /// k+1)` to annihilate `M[k][k+1]` — restores lower-triangularity
+    /// without changing `M M^T`, and the result is the unique Cholesky
+    /// factor of `A'` (its diagonal `r = hypot(m_kk, m_kk1)` is positive by
+    /// construction). Deleting a row *adds* the rank-1 term `c c^T` to the
+    /// trailing block (it removes conditioning information), so unlike a
+    /// true rank-1 downdate no cancellation can occur: the only failure
+    /// mode is non-finite input, which is reported as an error so callers
+    /// can fall back to a jittered refactorization.
+    ///
+    /// The chase runs over the *transpose* of `M`, turning the column
+    /// rotations into [`crate::vecops::rot`] over two contiguous slices.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] when `idx >= n` and
+    /// [`LinalgError::NotPositiveDefinite`] when a pivot comes out zero or
+    /// non-finite (possible only for degenerate or non-finite factors).
+    pub fn delete_row(&self, idx: usize) -> Result<Self> {
+        let n = self.dim();
+        if idx >= n {
+            return Err(LinalgError::DimensionMismatch {
+                context: "delete_row: index out of range",
+            });
+        }
+        let m = n - 1;
+        if m == 0 {
+            return Ok(Cholesky::empty());
+        }
+        // W[j][i] = M[i][j] where M is L with row `idx` removed: row j of W
+        // is column j of M, so the Givens chase streams contiguous memory.
+        let mut w = Mat::zeros(n, m);
+        for i in 0..m {
+            let src = if i < idx { i } else { i + 1 };
+            let lrow = self.l.row(src);
+            for (j, &v) in lrow.iter().enumerate().take(src + 1) {
+                w[(j, i)] = v;
+            }
+        }
+        // Chase the superdiagonal: step k zeroes M[k][k+1] by rotating
+        // columns (k, k+1) of M — rows (k, k+1) of W. Rows of M above k are
+        // already triangular with zeros in both columns, so only entries
+        // k.. participate.
+        for k in idx..m {
+            let (head, tail) = w.split_rows_mut(k + 1);
+            let wk = &mut head[k * m + k..(k + 1) * m];
+            let wk1 = &mut tail[k..m];
+            let (a, b) = (wk[0], wk1[0]);
+            let r = a.hypot(b);
+            if r <= 0.0 || !r.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: k, jitter: 0.0 });
+            }
+            let (c, s) = (a / r, b / r);
+            crate::vecops::rot(c, s, wk, wk1);
+            // The pivot pair is known exactly; kill its rounding error.
+            wk[0] = r;
+            wk1[0] = 0.0;
+        }
+        let mut l = Mat::zeros(m, m);
+        for i in 0..m {
+            let row = l.row_mut(i);
+            for (j, dst) in row.iter_mut().enumerate().take(i + 1) {
+                *dst = w[(j, i)];
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
     /// Solves `A x = b` via the two triangular solves.
     ///
     /// # Panics
@@ -154,6 +234,15 @@ impl Cholesky {
     /// Batched half solve with matrix right-hand side (`n x m`).
     pub fn half_solve_mat(&self, b: &Mat) -> Mat {
         solve_lower_mat(&self.l, b)
+    }
+
+    /// Batched solve `A X = B` with a matrix right-hand side (`n x m`):
+    /// both triangular solves run once over all columns instead of `m`
+    /// separate vector solves, which is the posterior hot path when many
+    /// right-hand sides share one factor.
+    pub fn solve_mat(&self, b: &Mat) -> Mat {
+        let y = solve_lower_mat(&self.l, b);
+        solve_upper_mat(&self.l, &y)
     }
 
     /// `log(det(A)) = 2 * sum_i log(L[i][i])`.
@@ -261,6 +350,113 @@ mod tests {
         let mut c = Cholesky::empty();
         c.append(&[], 2.0).unwrap();
         assert!(matches!(c.append(&[1.0, 2.0], 3.0), Err(LinalgError::DimensionMismatch { .. })));
+    }
+
+    /// `A` with row and column `idx` removed.
+    fn submatrix_without(a: &Mat, idx: usize) -> Mat {
+        let n = a.rows();
+        Mat::from_fn(n - 1, n - 1, |i, j| {
+            let si = if i < idx { i } else { i + 1 };
+            let sj = if j < idx { j } else { j + 1 };
+            a[(si, sj)]
+        })
+    }
+
+    #[test]
+    fn delete_row_matches_scratch_factor_every_index() {
+        let n = 8;
+        let a = random_spd(n, 17);
+        let full = Cholesky::factor(&a).unwrap();
+        for idx in 0..n {
+            let down = full.delete_row(idx).unwrap();
+            let scratch = Cholesky::factor(&submatrix_without(&a, idx)).unwrap();
+            for i in 0..n - 1 {
+                for j in 0..=i {
+                    assert!(
+                        (down.factor_l()[(i, j)] - scratch.factor_l()[(i, j)]).abs() < 1e-9,
+                        "idx {idx}: L mismatch at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delete_then_append_tracks_sliding_window() {
+        // Emulate the GP steady state: drop row 0, append a new bordered
+        // row, compare against factoring the shifted matrix from scratch.
+        let n = 9;
+        let a = random_spd(n + 1, 5);
+        let window = Mat::from_fn(n, n, |i, j| a[(i, j)]);
+        let mut ch = Cholesky::factor(&window).unwrap();
+        ch = ch.delete_row(0).unwrap();
+        let cross: Vec<f64> = (1..n).map(|i| a[(n, i)]).collect();
+        ch.append(&cross, a[(n, n)]).unwrap();
+        let shifted = Mat::from_fn(n, n, |i, j| a[(i + 1, j + 1)]);
+        let scratch = Cholesky::factor(&shifted).unwrap();
+        for i in 0..n {
+            for j in 0..=i {
+                assert!(
+                    (ch.factor_l()[(i, j)] - scratch.factor_l()[(i, j)]).abs() < 1e-9,
+                    "L mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delete_row_shrinks_to_empty_and_regrows() {
+        let a = Mat::from_rows(&[&[4.0]]);
+        let ch = Cholesky::factor(&a).unwrap();
+        let mut empty = ch.delete_row(0).unwrap();
+        assert_eq!(empty.dim(), 0);
+        empty.append(&[], 9.0).unwrap();
+        assert!((empty.factor_l()[(0, 0)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delete_row_rejects_out_of_range() {
+        let ch = Cholesky::factor(&random_spd(3, 1)).unwrap();
+        assert!(matches!(ch.delete_row(3), Err(LinalgError::DimensionMismatch { .. })));
+        let empty = Cholesky::empty();
+        assert!(matches!(empty.delete_row(0), Err(LinalgError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn delete_row_survives_near_singular_factor() {
+        // A nearly rank-deficient PSD matrix: the factorization needs its
+        // rescue jitter; the downdate of the resulting factor must still
+        // reconstruct the submatrix (deleting a row only *adds* the rank-1
+        // term back into the trailing block, so no cancellation occurs).
+        let base = Mat::from_rows(&[&[1.0, 1.0, 0.5], &[1.0, 1.0, 0.5], &[0.5, 0.5, 0.3]]);
+        let ch = Cholesky::factor(&base).expect("jitter rescues the PSD matrix");
+        let down = ch.delete_row(0).unwrap();
+        let r = down.reconstruct();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(
+                    (r[(i, j)] - base[(i + 1, j + 1)]).abs() < 1e-3,
+                    "({i},{j}): {} vs {}",
+                    r[(i, j)],
+                    base[(i + 1, j + 1)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_mat_matches_vector_solves() {
+        let a = random_spd(6, 21);
+        let c = Cholesky::factor(&a).unwrap();
+        let b = Mat::from_fn(6, 4, |i, j| (i as f64 - j as f64) * 0.3);
+        let x = c.solve_mat(&b);
+        for col in 0..4 {
+            let bcol: Vec<f64> = (0..6).map(|r| b[(r, col)]).collect();
+            let want = c.solve(&bcol);
+            for r in 0..6 {
+                assert!((x[(r, col)] - want[r]).abs() < 1e-10);
+            }
+        }
     }
 
     #[test]

@@ -101,6 +101,21 @@ impl Mat {
         &self.data
     }
 
+    /// Splits the storage into two mutable row ranges: rows `[0, at)` and
+    /// rows `[at, rows)`, each as a flat row-major slice.
+    ///
+    /// This is the split-borrow primitive behind the blocked triangular
+    /// solves and the delete-row Cholesky downdate: already-final rows can
+    /// be read while later rows are updated in place, with no row copies.
+    ///
+    /// # Panics
+    /// Panics if `at > self.rows()`.
+    #[inline]
+    pub fn split_rows_mut(&mut self, at: usize) -> (&mut [f64], &mut [f64]) {
+        assert!(at <= self.rows, "split_rows_mut: row index out of range");
+        self.data.split_at_mut(at * self.cols)
+    }
+
     /// Matrix-vector product `A * x`.
     ///
     /// # Panics
@@ -236,6 +251,21 @@ mod tests {
     #[should_panic(expected = "inconsistent row length")]
     fn from_rows_rejects_ragged() {
         let _ = Mat::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    fn split_rows_mut_partitions_storage() {
+        let mut m = Mat::from_fn(4, 3, |i, j| (i * 3 + j) as f64);
+        let (top, bottom) = m.split_rows_mut(2);
+        assert_eq!(top.len(), 6);
+        assert_eq!(bottom.len(), 6);
+        assert_eq!(top[5], 5.0);
+        assert_eq!(bottom[0], 6.0);
+        bottom[0] = -1.0;
+        assert_eq!(m[(2, 0)], -1.0);
+        // Degenerate splits are legal.
+        assert_eq!(m.split_rows_mut(0).0.len(), 0);
+        assert_eq!(m.split_rows_mut(4).1.len(), 0);
     }
 
     #[test]

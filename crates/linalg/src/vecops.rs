@@ -30,6 +30,26 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     }
 }
 
+/// Applies the plane (Givens) rotation `(a_i, b_i) <- (c*a_i + s*b_i,
+/// c*b_i - s*a_i)` to two equal-length slices (BLAS `drot`).
+///
+/// This is the inner loop of the delete-row Cholesky downdate: the two
+/// slices are adjacent rows of the transposed working factor, so the loop
+/// streams over contiguous memory and auto-vectorizes.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn rot(c: f64, s: f64, a: &mut [f64], b: &mut [f64]) {
+    assert_eq!(a.len(), b.len(), "rot: length mismatch");
+    for i in 0..a.len() {
+        let ai = a[i];
+        let bi = b[i];
+        a[i] = c * ai + s * bi;
+        b[i] = c * bi - s * ai;
+    }
+}
+
 /// Euclidean norm.
 #[inline]
 pub fn norm2(a: &[f64]) -> f64 {
@@ -124,6 +144,21 @@ mod tests {
         let mut y = vec![1.0, 1.0];
         axpy(2.0, &[3.0, -1.0], &mut y);
         assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn rot_is_an_isometry() {
+        // A rotation by the (3,4,5) angle preserves norms and maps
+        // (4, 3) onto (5, 0) in the first component pair.
+        let (c, s) = (0.8, 0.6);
+        let mut a = vec![4.0, 1.0];
+        let mut b = vec![3.0, -2.0];
+        let before = dot(&a, &a) + dot(&b, &b);
+        rot(c, s, &mut a, &mut b);
+        assert!((a[0] - 5.0).abs() < 1e-12);
+        assert!(b[0].abs() < 1e-12);
+        let after = dot(&a, &a) + dot(&b, &b);
+        assert!((before - after).abs() < 1e-12);
     }
 
     #[test]

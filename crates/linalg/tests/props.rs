@@ -62,6 +62,49 @@ proptest! {
         }
     }
 
+    /// The delete-row downdate equals factoring the submatrix from
+    /// scratch, for every deletable index of a random SPD matrix.
+    #[test]
+    fn delete_row_equals_scratch_factor(a in spd(7), idx in 0usize..7) {
+        let full = Cholesky::factor(&a).unwrap();
+        let down = full.delete_row(idx).unwrap();
+        let sub = Mat::from_fn(6, 6, |i, j| {
+            let si = if i < idx { i } else { i + 1 };
+            let sj = if j < idx { j } else { j + 1 };
+            a[(si, sj)]
+        });
+        let scratch = Cholesky::factor(&sub).unwrap();
+        for i in 0..6 {
+            for j in 0..=i {
+                prop_assert!(
+                    (down.factor_l()[(i, j)] - scratch.factor_l()[(i, j)]).abs() < 1e-8,
+                    "idx {} mismatch at ({}, {})", idx, i, j
+                );
+            }
+        }
+    }
+
+    /// Sliding-window chain: delete row 0 then append a bordered row —
+    /// the GP eviction pattern — equals the from-scratch factor of the
+    /// shifted window.
+    #[test]
+    fn delete_then_append_equals_scratch(a in spd(8)) {
+        let window = Mat::from_fn(7, 7, |i, j| a[(i, j)]);
+        let mut ch = Cholesky::factor(&window).unwrap();
+        ch = ch.delete_row(0).unwrap();
+        let cross: Vec<f64> = (1..7).map(|i| a[(7, i)]).collect();
+        ch.append(&cross, a[(7, 7)]).unwrap();
+        let shifted = Mat::from_fn(7, 7, |i, j| a[(i + 1, j + 1)]);
+        let scratch = Cholesky::factor(&shifted).unwrap();
+        for i in 0..7 {
+            for j in 0..=i {
+                prop_assert!(
+                    (ch.factor_l()[(i, j)] - scratch.factor_l()[(i, j)]).abs() < 1e-8
+                );
+            }
+        }
+    }
+
     /// Matrix-RHS forward substitution equals column-wise vector solves.
     #[test]
     fn matrix_rhs_equals_columnwise(

@@ -4,7 +4,7 @@ use bytes::BytesMut;
 use edgebol_core::agent::EdgeBolAgent;
 use edgebol_core::orchestrator::Orchestrator;
 use edgebol_core::problem::ProblemSpec;
-use edgebol_gp::{GaussianProcess, Kernel};
+use edgebol_gp::{EvictStrategy, GaussianProcess, Kernel};
 use edgebol_linalg::{Cholesky, Mat};
 use edgebol_media::{mean_average_precision, Dataset, DetectorModel};
 use edgebol_oran::{
@@ -66,6 +66,68 @@ proptest! {
         let (_, s) = gp.predict(&[query]);
         prop_assert!(s <= 2.0f64.sqrt() + 1e-9, "posterior std {} above prior", s);
         prop_assert!(s >= 0.0);
+    }
+
+    /// Sliding-window equivalence: the `O(W^2)` delete-row downdate and
+    /// the `O(W^3)` rebuild must agree on the posterior for ANY random
+    /// observation stream and window size — the workspace-level face of
+    /// the `Cholesky::delete_row` battery in `edgebol-linalg`.
+    #[test]
+    fn gp_window_downdate_matches_rebuild(
+        xs in proptest::collection::vec(0.0f64..1.0, 8..40),
+        cap in 2usize..8,
+        query in 0.0f64..1.0,
+    ) {
+        let build = |s: EvictStrategy| {
+            GaussianProcess::new(Kernel::matern32(1.5, vec![0.25]), 1e-4)
+                .with_max_observations(cap)
+                .with_evict_strategy(s)
+        };
+        let mut fast = build(EvictStrategy::Downdate);
+        let mut oracle = build(EvictStrategy::Rebuild);
+        for (i, &x) in xs.iter().enumerate() {
+            let y = (x * 6.0).sin() + (i % 3) as f64 * 0.2;
+            fast.observe(&[x], y).unwrap();
+            oracle.observe(&[x], y).unwrap();
+        }
+        let (mf, sf) = fast.predict(&[query]);
+        let (mo, so) = oracle.predict(&[query]);
+        prop_assert!((mf - mo).abs() < 1e-8, "mean {mf} vs {mo}");
+        prop_assert!((sf - so).abs() < 1e-8, "std {sf} vs {so}");
+    }
+
+    /// Degenerate windows never panic: a capacity-1 window (every evict
+    /// shrinks the factor 1 -> 0) and near-coincident inputs (a
+    /// near-singular kernel matrix held up only by the noise jitter) must
+    /// keep observing and predicting cleanly under the downdate path.
+    #[test]
+    fn gp_degenerate_windows_survive(
+        x0 in 0.0f64..1.0,
+        eps in 0.0f64..1e-10,
+        steps in 4usize..20,
+    ) {
+        // Capacity 1: the downdate's T=1 -> T=0 edge case, every period.
+        let mut tiny = GaussianProcess::new(Kernel::matern32(1.0, vec![0.3]), 1e-6)
+            .with_max_observations(1)
+            .with_evict_strategy(EvictStrategy::Downdate);
+        for i in 0..steps {
+            tiny.observe(&[(i as f64 * 0.13).fract()], i as f64).unwrap();
+            prop_assert_eq!(tiny.len(), 1);
+        }
+        // Near-coincident inputs: kernel rows differ by ~eps, so the
+        // factor is barely positive definite. Evictions must either
+        // downdate or fall back to the jittered refactorization — never
+        // panic, never corrupt the window.
+        let mut sick = GaussianProcess::new(Kernel::matern32(1.0, vec![0.3]), 1e-9)
+            .with_max_observations(3)
+            .with_evict_strategy(EvictStrategy::Downdate);
+        for i in 0..steps {
+            let x = x0 + eps * i as f64;
+            sick.observe(&[x], 1.0 + i as f64 * 1e-6).unwrap();
+        }
+        prop_assert_eq!(sick.len(), 3);
+        let (m, s) = sick.predict(&[x0]);
+        prop_assert!(m.is_finite() && s.is_finite() && s >= 0.0);
     }
 
     /// The mAP metric is always within [0, 1] for any detector run.
