@@ -222,6 +222,67 @@ impl EdgeBol {
         self.gps.is_none()
     }
 
+    /// Exports the agent's experience as raw-unit observations
+    /// `(z, [cost, delay, map])`, oldest first — the transfer payload for
+    /// warm-starting a newly spawned learner (fleet layer).
+    ///
+    /// During warm-up this is the accumulated warm-up data; after the GPs
+    /// are built it is reconstructed from the retained GP windows by
+    /// unstandardizing each target with the frozen per-target `Scale`
+    /// (the three GPs share identical inputs, so the cost GP's window
+    /// defines the point set).
+    pub fn export_experience(&self) -> Vec<(Vec<f64>, [f64; 3])> {
+        match (&self.gps, self.scales) {
+            (Some(gps), Some(scales)) => {
+                let dims = self.cfg.context_dims + self.grid.dims();
+                let (xs, _) = gps[0].data();
+                let n = xs.len() / dims;
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    let z = xs[i * dims..(i + 1) * dims].to_vec();
+                    let mut y = [0.0; 3];
+                    for k in 0..3 {
+                        let (_, ys) = gps[k].data();
+                        y[k] = scales[k].mean_from_scaled(ys[i]);
+                    }
+                    out.push((z, y));
+                }
+                out
+            }
+            _ => self.warmup_data.clone(),
+        }
+    }
+
+    /// Seeds a fresh agent with a donor's experience (see
+    /// [`Self::export_experience`]) before its first period.
+    ///
+    /// The imported points become this agent's prior data: scaling and
+    /// (optionally) hyperparameters are fitted on them and the GPs are
+    /// built immediately when the donor contributed at least
+    /// `warmup_rounds` observations — the agent then **skips the random
+    /// warm-up phase entirely**, which is the convergence saving the
+    /// fleet layer measures. With fewer points the import only shortens
+    /// the remaining warm-up.
+    ///
+    /// # Panics
+    /// Panics if the agent has already received feedback (warm-starting
+    /// is a spawn-time operation), or if any imported point has the wrong
+    /// dimensionality.
+    pub fn import_experience(&mut self, experience: &[(Vec<f64>, [f64; 3])]) {
+        assert!(
+            self.t == 0 && self.in_warmup(),
+            "import_experience is only valid on a fresh agent"
+        );
+        let dims = self.cfg.context_dims + self.grid.dims();
+        for (z, _) in experience {
+            assert_eq!(z.len(), dims, "imported experience dimensionality");
+        }
+        self.warmup_data.extend_from_slice(experience);
+        if self.warmup_data.len() >= self.cfg.warmup_rounds {
+            self.build_gps();
+        }
+    }
+
     /// Number of feedback updates received.
     pub fn updates(&self) -> usize {
         self.t
@@ -696,6 +757,77 @@ mod tests {
         assert!(tail < opt * 1.35, "TS converged cost {tail:.1} vs optimal {opt:.1}");
         let violations = history[8..].iter().filter(|f| f.delay_s > 0.5 + 1e-9).count();
         assert!(violations <= 10, "{violations} TS violations");
+    }
+
+    #[test]
+    fn export_matches_import_roundtrip() {
+        // A donor that has learned for a while exports its experience;
+        // a fresh agent importing it starts post-warmup with the same
+        // observation set.
+        let (donor, _) = run_toy(cfg(), 30);
+        let exp = donor.export_experience();
+        assert_eq!(exp.len(), 30, "all observations retained (no window hit)");
+        let grid = ControlGrid::new(6, 4);
+        let mut warm = EdgeBol::with_grid(cfg(), grid);
+        warm.import_experience(&exp);
+        assert!(!warm.in_warmup(), "enough donor data must skip warm-up");
+        assert_eq!(warm.export_experience().len(), 30);
+        // The raw targets survive the standardize/unstandardize roundtrip.
+        let back = warm.export_experience();
+        for ((za, ya), (zb, yb)) in exp.iter().zip(&back) {
+            assert_eq!(za, zb);
+            for k in 0..3 {
+                assert!((ya[k] - yb[k]).abs() < 1e-9, "target {k} drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_started_agent_skips_warmup_phase() {
+        let (donor, _) = run_toy(cfg(), 40);
+        let mut warm = EdgeBol::with_grid(cfg(), ControlGrid::new(6, 4));
+        warm.import_experience(&donor.export_experience());
+        // First selection is already posterior-driven, not a random
+        // warm-up draw from the corner box.
+        assert!(!warm.in_warmup());
+        let toy = Toy { d_max: 0.5 };
+        let ctx = [0.5, 0.5, 0.1];
+        let mut costs = Vec::new();
+        for _ in 0..10 {
+            let idx = warm.select(&ctx);
+            let fb = toy.eval(warm.grid(), idx);
+            costs.push(fb.cost);
+            warm.update(&ctx, idx, &fb);
+        }
+        // A cold agent spends its first rounds on the expensive corner
+        // box (cost near 300); the warm one must do better on average.
+        let mean = costs.iter().sum::<f64>() / costs.len() as f64;
+        assert!(mean < 280.0, "warm-start first-10 mean cost {mean:.1}");
+    }
+
+    #[test]
+    fn partial_import_shortens_warmup() {
+        let (donor, _) = run_toy(cfg(), 30);
+        let exp = donor.export_experience();
+        let mut agent = EdgeBol::with_grid(cfg(), ControlGrid::new(6, 4));
+        agent.import_experience(&exp[..3]); // warmup_rounds is 8
+        assert!(agent.in_warmup(), "3 of 8 points: still warming up");
+        let toy = Toy { d_max: 0.5 };
+        let ctx = [0.5, 0.5, 0.1];
+        for _ in 0..5 {
+            let idx = agent.select(&ctx);
+            let fb = toy.eval(agent.grid(), idx);
+            agent.update(&ctx, idx, &fb);
+        }
+        assert!(!agent.in_warmup(), "3 imported + 5 live = 8 rounds");
+    }
+
+    #[test]
+    #[should_panic(expected = "fresh agent")]
+    fn import_after_updates_panics() {
+        let (mut donor, _) = run_toy(cfg(), 12);
+        let exp = donor.export_experience();
+        donor.import_experience(&exp);
     }
 
     #[test]

@@ -26,6 +26,11 @@
 //! | `EDGEBOL_FLIGHT_DIR`  | [`flight_dir`]  | directory for crash dumps      |
 //! | `EDGEBOL_GP_EVICT`    | `EvictStrategy::from_env` (edgebol-gp) | `downdate` (default) / `rebuild` |
 //! | `EDGEBOL_REPS` etc.   | [`usize_knob`]  | non-negative integer           |
+//! | `EDGEBOL_FLEET_SLICES` | [`fleet_slices`] | comma list of fleet sizes     |
+//! | `EDGEBOL_FLEET_PERIODS` | [`fleet_periods`] | periods each slice runs     |
+//! | `EDGEBOL_FLEET_CELLS` | [`fleet_cells`] | number of cells (GPU servers)  |
+//! | `EDGEBOL_FLEET_GPU_CAPACITY` | [`fleet_gpu_capacity`] | per-cell capacity (demand units) |
+//! | `EDGEBOL_FLEET_MODE`  | [`fleet_mode`]  | `both` (default)/`warm`/`cold` |
 //!
 //! (`EDGEBOL_GP_EVICT` is parsed by `edgebol_gp::EvictStrategy` rather
 //! than here — the GP layer cannot depend on the bench crate — but
@@ -238,6 +243,142 @@ pub fn usize_knob(key: &str, default: usize) -> usize {
     }
 }
 
+/// Which spawn modes the `fleet` bench sweeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FleetMode {
+    /// Warm-start late slices from the nearest running donor.
+    Warm,
+    /// Always cold-start (the control arm).
+    Cold,
+    /// Run both arms and report the convergence saving (default).
+    Both,
+}
+
+impl FleetMode {
+    /// `true` if this mode includes the warm arm.
+    pub fn runs_warm(self) -> bool {
+        matches!(self, FleetMode::Warm | FleetMode::Both)
+    }
+
+    /// `true` if this mode includes the cold arm.
+    pub fn runs_cold(self) -> bool {
+        matches!(self, FleetMode::Cold | FleetMode::Both)
+    }
+}
+
+/// Parses an `EDGEBOL_FLEET_SLICES`-style comma list of fleet sizes.
+///
+/// # Errors
+/// A message naming the expectation when any element is not a positive
+/// integer (an empty list is also rejected).
+pub fn parse_usize_list(v: &str) -> Result<Vec<usize>, String> {
+    let out: Result<Vec<usize>, String> = v
+        .split(',')
+        .map(|s| match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err("a comma-separated list of positive integers".to_string()),
+        })
+        .collect();
+    let out = out?;
+    if out.is_empty() {
+        return Err("a comma-separated list of positive integers".into());
+    }
+    Ok(out)
+}
+
+/// `EDGEBOL_FLEET_SLICES`: the fleet sizes the `fleet` bench sweeps
+/// (default `10,32,100,316,1000` — half-decade steps).
+///
+/// # Panics
+/// On a malformed list.
+pub fn fleet_slices() -> Vec<usize> {
+    match raw("EDGEBOL_FLEET_SLICES") {
+        None => vec![10, 32, 100, 316, 1000],
+        Some(v) => match parse_usize_list(&v) {
+            Ok(l) => l,
+            Err(e) => invalid("EDGEBOL_FLEET_SLICES", &v, &e),
+        },
+    }
+}
+
+/// `EDGEBOL_FLEET_PERIODS`: how many control periods each slice lives
+/// before retiring (default 48 — enough for quick-config convergence
+/// plus a measurable steady tail).
+///
+/// # Panics
+/// On a malformed value.
+pub fn fleet_periods() -> usize {
+    usize_knob("EDGEBOL_FLEET_PERIODS", 48)
+}
+
+/// `EDGEBOL_FLEET_CELLS`: how many cells (each with its own GPU server)
+/// the fleet shards slices across (default 4).
+///
+/// # Panics
+/// On a malformed value.
+pub fn fleet_cells() -> usize {
+    usize_knob("EDGEBOL_FLEET_CELLS", 4)
+}
+
+/// Parses an `EDGEBOL_FLEET_GPU_CAPACITY`-style positive float.
+///
+/// # Errors
+/// A message naming the expectation when `v` is not a positive finite
+/// number.
+pub fn parse_positive_f64(v: &str) -> Result<f64, String> {
+    match v.trim().parse::<f64>() {
+        Ok(x) if x.is_finite() && x > 0.0 => Ok(x),
+        _ => Err("a positive number".into()),
+    }
+}
+
+/// `EDGEBOL_FLEET_GPU_CAPACITY`: per-cell GPU admission capacity in
+/// aggregate demand units (default 8.0; a slice demands
+/// `0.1 + 0.05 x users`, so the default admits roughly 30–50 concurrent
+/// slices per cell).
+///
+/// # Panics
+/// On a malformed value.
+pub fn fleet_gpu_capacity() -> f64 {
+    match raw("EDGEBOL_FLEET_GPU_CAPACITY") {
+        None => 8.0,
+        Some(v) => match parse_positive_f64(&v) {
+            Ok(x) => x,
+            Err(e) => invalid("EDGEBOL_FLEET_GPU_CAPACITY", &v, &e),
+        },
+    }
+}
+
+/// Parses an `EDGEBOL_FLEET_MODE`-style arm selector.
+///
+/// # Errors
+/// A message naming the expectation when `v` is none of `warm`, `cold`
+/// or `both`.
+pub fn parse_fleet_mode(v: &str) -> Result<FleetMode, String> {
+    match v.trim() {
+        "" | "both" => Ok(FleetMode::Both),
+        "warm" => Ok(FleetMode::Warm),
+        "cold" => Ok(FleetMode::Cold),
+        _ => Err("warm, cold or both".into()),
+    }
+}
+
+/// `EDGEBOL_FLEET_MODE`: which spawn arms the `fleet` bench runs
+/// (default [`FleetMode::Both`], so warm-vs-cold savings are measured
+/// in one invocation).
+///
+/// # Panics
+/// On a malformed value.
+pub fn fleet_mode() -> FleetMode {
+    match raw("EDGEBOL_FLEET_MODE") {
+        None => FleetMode::Both,
+        Some(v) => match parse_fleet_mode(&v) {
+            Ok(m) => m,
+            Err(e) => invalid("EDGEBOL_FLEET_MODE", &v, &e),
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,5 +437,37 @@ mod tests {
         assert!(parse_usize("many").is_err());
         // Unset (or blank) keys yield the default without parsing.
         assert_eq!(usize_knob("EDGEBOL_THIS_KNOB_IS_NEVER_SET", 42), 42);
+    }
+
+    #[test]
+    fn fleet_size_lists_parse_and_reject_garbage() {
+        assert_eq!(parse_usize_list("10,32,100"), Ok(vec![10, 32, 100]));
+        assert_eq!(parse_usize_list(" 5 "), Ok(vec![5]));
+        assert!(parse_usize_list("").is_err());
+        assert!(parse_usize_list("10,,32").is_err());
+        assert!(parse_usize_list("10,0").is_err());
+        assert!(parse_usize_list("ten").is_err());
+    }
+
+    #[test]
+    fn fleet_capacity_must_be_positive_and_finite() {
+        assert_eq!(parse_positive_f64("8.0"), Ok(8.0));
+        assert_eq!(parse_positive_f64(" 0.5 "), Ok(0.5));
+        assert!(parse_positive_f64("0").is_err());
+        assert!(parse_positive_f64("-1").is_err());
+        assert!(parse_positive_f64("inf").is_err());
+        assert!(parse_positive_f64("lots").is_err());
+    }
+
+    #[test]
+    fn fleet_mode_parses_all_arms() {
+        assert_eq!(parse_fleet_mode("warm"), Ok(FleetMode::Warm));
+        assert_eq!(parse_fleet_mode("cold"), Ok(FleetMode::Cold));
+        assert_eq!(parse_fleet_mode("both"), Ok(FleetMode::Both));
+        assert_eq!(parse_fleet_mode(""), Ok(FleetMode::Both));
+        assert!(parse_fleet_mode("hot").is_err());
+        assert!(FleetMode::Both.runs_warm() && FleetMode::Both.runs_cold());
+        assert!(FleetMode::Warm.runs_warm() && !FleetMode::Warm.runs_cold());
+        assert!(!FleetMode::Cold.runs_warm() && FleetMode::Cold.runs_cold());
     }
 }

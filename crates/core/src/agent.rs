@@ -31,6 +31,14 @@ pub trait Agent: Send {
         None
     }
 
+    /// Exports the agent's experience as raw-unit `(z, [cost, delay,
+    /// map])` observations for warm-starting a newly spawned learner —
+    /// the fleet layer's transfer-learning payload. Agents without a
+    /// transferable posterior (the parametric baselines) return `None`.
+    fn export_experience(&self) -> Option<Vec<(Vec<f64>, [f64; 3])>> {
+        None
+    }
+
     /// Display name.
     fn name(&self) -> &'static str;
 }
@@ -71,6 +79,40 @@ impl EdgeBolAgent {
         cfg.warmup_rounds = 6;
         cfg.candidate_subsample = Some(256);
         EdgeBolAgent { spec: *spec, inner: EdgeBol::new(cfg), last: None }
+    }
+
+    /// Builder-style warm start: seeds the (fresh) agent with a donor's
+    /// exported experience before its first period, so it starts from
+    /// the donor's posterior instead of the random warm-up box. This is
+    /// the agent-level half of the fleet layer's transfer learning.
+    ///
+    /// ```
+    /// use edgebol_core::agent::{Agent, EdgeBolAgent};
+    /// use edgebol_core::problem::ProblemSpec;
+    /// use edgebol_testbed::{ContextObs, PeriodObservation};
+    ///
+    /// let spec = ProblemSpec::new(1.0, 8.0, 0.4, 0.5);
+    /// let mut donor = EdgeBolAgent::quick_for_tests(&spec, 1);
+    /// let ctx = ContextObs { num_users: 1, mean_cqi: 14.0, var_cqi: 0.5 };
+    /// for _ in 0..8 {
+    ///     let c = donor.select(&ctx);
+    ///     let obs = PeriodObservation {
+    ///         delay_s: 0.3, gpu_delay_s: 0.1, map: 0.6,
+    ///         server_power_w: 150.0, bs_power_w: 6.0,
+    ///     };
+    ///     donor.update(&ctx, &c, &obs);
+    /// }
+    /// let experience = donor.export_experience().expect("EdgeBOL exports");
+    /// let warm = EdgeBolAgent::quick_for_tests(&spec, 2).with_experience(&experience);
+    /// assert!(!warm.in_warmup(), "the donor's 8 periods cover the 6-round warm-up");
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if the agent has already received feedback (see
+    /// [`edgebol_bandit::EdgeBol::import_experience`]).
+    pub fn with_experience(mut self, experience: &[(Vec<f64>, [f64; 3])]) -> Self {
+        self.inner.import_experience(experience);
+        self
     }
 
     /// Exact safe-set size for a context (full-grid GP sweep).
@@ -120,6 +162,10 @@ impl Agent for EdgeBolAgent {
 
     fn safe_set_size(&mut self, ctx: &ContextObs) -> Option<usize> {
         Some(self.sampled_safe_set_size(ctx))
+    }
+
+    fn export_experience(&self) -> Option<Vec<(Vec<f64>, [f64; 3])>> {
+        Some(self.inner.export_experience())
     }
 
     fn name(&self) -> &'static str {

@@ -40,6 +40,8 @@
 //! assert_eq!(trace.len(), 20);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod agent;
 pub mod orchestrator;
 pub mod problem;

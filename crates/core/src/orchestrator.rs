@@ -612,6 +612,21 @@ impl Orchestrator {
         self.supervisor.watchdog_trips()
     }
 
+    /// Forwards a cross-slice GPU contention factor to the environment
+    /// (see [`Environment::set_gpu_contention`]): the fleet layer's
+    /// shared-server model calls this each period on every member slice
+    /// whose cell's aggregate load exceeds the server's capacity.
+    pub fn set_gpu_contention(&mut self, factor: f64) {
+        self.env.set_gpu_contention(factor);
+    }
+
+    /// The agent's transferable experience, when it maintains one (see
+    /// [`Agent::export_experience`]) — how the fleet layer reads a
+    /// running slice's posterior to warm-start a newly spawned one.
+    pub fn agent_experience(&self) -> Option<Vec<(Vec<f64>, [f64; 3])>> {
+        self.agent.export_experience()
+    }
+
     fn note_degraded(&mut self, stage: &'static str) {
         self.degraded_events += 1;
         *self.degraded_by_stage.entry(stage).or_insert(0) += 1;

@@ -1,0 +1,806 @@
+//! Fleet-scale multi-slice orchestration with GP warm-start transfer.
+//!
+//! The paper runs EdgeBOL on one slice. An operator runs *fleets*: N
+//! slices sharded over M cells, each cell backed by one physical GPU
+//! server, slices arriving and leaving while learning runs online. This
+//! crate adds that layer on top of the single-slice stack:
+//!
+//! * [`Fleet`] — drives every slice's [`edgebol_core::Orchestrator`] in
+//!   period lockstep, fanning the per-period work across worker threads
+//!   with `edgebol_bench`'s deterministic pool. All cross-slice
+//!   decisions (admission, contention, donor selection) happen on the
+//!   driver thread between periods, so a fixed-seed fleet produces a
+//!   byte-identical [`FleetReport`] at any thread count.
+//! * **Shared-GPU admission** — each cell has a capacity budget in
+//!   demand units; a slice is admitted when its demand fits under the
+//!   (slightly overcommitted) budget, otherwise it waits in a pending
+//!   queue and retries every period. Overcommitted load feeds back as a
+//!   per-period inference-time contention factor through
+//!   [`edgebol_testbed::Environment::set_gpu_contention`].
+//! * **Warm-start transfer** — when a slice spawns next to already
+//!   running slices, its GP posterior is seeded from the nearest
+//!   donor's exported experience
+//!   ([`edgebol_core::agent::EdgeBolAgent::with_experience`]), skipping
+//!   the random warm-up box entirely. Nearness is Euclidean distance in
+//!   the unit context space of [`edgebol_testbed::ContextObs::to_unit`];
+//!   beyond [`FleetConfig::transfer_radius`] the slice degrades
+//!   gracefully to a cold start (counted, never a panic).
+//!
+//! Slice lifecycle events stream into an [`edgebol_trace::Journal`]
+//! (layer `fleet`) and fleet health into an
+//! [`edgebol_metrics::Registry`], so the whole fleet is visible on the
+//! `EDGEBOL_OPS` HTTP surface. The `fleet` binary in this crate sweeps
+//! fleet sizes and reports warm-vs-cold convergence savings (see
+//! `OPERATIONS.md` for the `EDGEBOL_FLEET_*` knobs).
+
+#![deny(missing_docs)]
+
+use edgebol_bench::{median, parallel_map_threads};
+use edgebol_core::agent::EdgeBolAgent;
+use edgebol_core::problem::ProblemSpec;
+use edgebol_core::trace::Trace;
+use edgebol_core::Orchestrator;
+use edgebol_metrics::{Counter, Gauge, Registry};
+use edgebol_oran::{ChaosConfig, TransportKind};
+use edgebol_testbed::{Calibration, Environment, FlowTestbed, Scenario};
+use edgebol_trace::{Journal, Layer};
+use std::sync::{Arc, Mutex};
+
+/// Donor experience in physical units, as exported by
+/// [`edgebol_core::agent::Agent::export_experience`].
+pub type Experience = Vec<(Vec<f64>, [f64; 3])>;
+
+/// Sizing and policy of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Total slices the fleet will spawn over its lifetime.
+    pub slices: usize,
+    /// Cells (each with its own shared GPU server); slice `i` lives in
+    /// cell `i % cells`.
+    pub cells: usize,
+    /// Control periods each slice runs before retiring.
+    pub periods: usize,
+    /// Period at which the late wave becomes spawn-eligible. The first
+    /// `ceil(slices / 4)` slices are eligible at period 0 (the seed
+    /// wave — necessarily cold, there is nobody to learn from); the
+    /// rest wait until `stagger`, by which time seed slices are past
+    /// warm-up and can donate.
+    pub stagger: usize,
+    /// Whether eligible spawns warm-start from the nearest donor. The
+    /// cold arm of the transfer experiment sets this to `false`;
+    /// admission and retirement dynamics are identical either way, so
+    /// the two arms spawn every slice at the same period.
+    pub warm_start: bool,
+    /// Maximum Euclidean distance in unit context space at which a
+    /// donor is accepted. Beyond it the spawn degrades to a cold start
+    /// and `transfer_out_of_range` is incremented.
+    pub transfer_radius: f64,
+    /// Newest-K cap on imported donor observations.
+    pub transfer_cap: usize,
+    /// A donor must have completed at least this many periods (past the
+    /// quick config's 6-round warm-up, so its export reflects a real
+    /// posterior).
+    pub min_donor_periods: usize,
+    /// Per-cell GPU admission capacity in demand units; a slice demands
+    /// `0.1 + 0.05 x users`.
+    pub gpu_capacity: f64,
+    /// Admission admits up to `gpu_capacity * overcommit`; load between
+    /// capacity and the overcommitted ceiling shows up as an
+    /// inference-time contention factor `load / capacity` on every
+    /// slice in the cell.
+    pub overcommit: f64,
+    /// Service-delay bound `d_max` (s) for every slice's problem spec.
+    pub d_max: f64,
+    /// Precision floor `rho_min` for every slice's problem spec.
+    pub rho_min: f64,
+    /// Base RNG seed; per-slice environment and agent seeds derive from
+    /// it and the slice id.
+    pub seed: u64,
+    /// Worker threads for the lockstep fan-out; `None` uses the
+    /// `EDGEBOL_THREADS` knob / available parallelism. The report is
+    /// byte-identical at any setting.
+    pub threads: Option<usize>,
+}
+
+impl FleetConfig {
+    /// A fast configuration sized for tests and doc examples: 2 cells,
+    /// 24-period slice lifetimes, late wave at period 8.
+    pub fn quick(slices: usize) -> Self {
+        FleetConfig {
+            slices,
+            cells: 2,
+            periods: 24,
+            stagger: 8,
+            warm_start: true,
+            transfer_radius: 0.6,
+            transfer_cap: 64,
+            min_donor_periods: 8,
+            gpu_capacity: 8.0,
+            overcommit: 1.25,
+            d_max: 2.0,
+            rho_min: 0.5,
+            seed: 7,
+            threads: None,
+        }
+    }
+
+    /// The bench configuration behind the `fleet` binary: like
+    /// [`FleetConfig::quick`] but with the cell count, slice lifetime
+    /// and GPU capacity taken from the `EDGEBOL_FLEET_*` knobs and the
+    /// late wave at period 16.
+    pub fn bench(slices: usize) -> Self {
+        FleetConfig {
+            cells: edgebol_bench::env::fleet_cells(),
+            periods: edgebol_bench::env::fleet_periods(),
+            stagger: 16,
+            gpu_capacity: edgebol_bench::env::fleet_gpu_capacity(),
+            ..Self::quick(slices)
+        }
+    }
+
+    fn seed_wave(&self) -> usize {
+        self.slices.div_ceil(4).max(1)
+    }
+}
+
+/// How far a slice has got through its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlicePhase {
+    /// Waiting for eligibility and admission.
+    Pending { eligible_at: usize },
+    /// Admitted and stepping every period.
+    Running,
+    /// Ran its full lifetime (or failed) and released its GPU share.
+    Retired,
+}
+
+/// Per-slice driver state. The `Mutex` exists so worker threads can
+/// step disjoint slices through a shared `&[SliceSlot]`; it is never
+/// contended (each lockstep period locks each runner exactly once).
+struct SliceSlot {
+    id: u64,
+    cell: usize,
+    demand: f64,
+    phase: SlicePhase,
+    runner: Option<Mutex<Orchestrator>>,
+    trace: Trace,
+    unit_ctx: [f64; 3],
+    spawned_at: usize,
+    warm: bool,
+    donor: Option<u64>,
+    completed: usize,
+    failed: bool,
+    rejected_once: bool,
+    experience: Option<Experience>,
+}
+
+/// One slice's outcome.
+#[derive(Debug, Clone)]
+pub struct SliceReport {
+    /// Slice id (also its index in spawn order).
+    pub id: u64,
+    /// Cell the slice ran in.
+    pub cell: usize,
+    /// Lockstep period the slice was admitted at.
+    pub spawned_at: usize,
+    /// Whether it warm-started from a donor.
+    pub warm: bool,
+    /// The donor it imported experience from, if any.
+    pub donor: Option<u64>,
+    /// Periods it completed before retiring.
+    pub periods: usize,
+    /// [`Trace::convergence_period`] at 10% tolerance, relative to its
+    /// own spawn.
+    pub convergence_period: Option<usize>,
+    /// Mean cost over its whole life.
+    pub mean_cost: f64,
+    /// Mean cost over its first 8 periods — the learning-phase price.
+    /// Cold slices pay the max-resources `S_0` warm-up box here; warm
+    /// slices start from the donor's posterior instead, so comparing
+    /// this across arms is the first-K-period regret of cold starting.
+    pub early_cost: f64,
+    /// Mean cost over its last 10 periods.
+    pub tail_cost: f64,
+    /// Constraint satisfaction rate after its first 6 periods.
+    pub satisfaction: f64,
+}
+
+/// Aggregate outcome of one fleet run. Every number is a pure function
+/// of [`FleetConfig`] — wall-clock and thread count never leak in — so
+/// [`FleetReport::summary`] is byte-stable across machines and pool
+/// sizes.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-slice outcomes in id order.
+    pub slices: Vec<SliceReport>,
+    /// Cells in the run.
+    pub cells: usize,
+    /// Lockstep periods the driver ran until every slice retired.
+    pub total_periods: usize,
+    /// Total slice-periods stepped (the work unit for throughput).
+    pub slice_periods: usize,
+    /// Sum of every slice-period's cost `u_t` (eq. 1) — the fleet's
+    /// aggregate J.
+    pub aggregate_j: f64,
+    /// Slices that warm-started.
+    pub warm_spawns: u64,
+    /// Slices that cold-started.
+    pub cold_spawns: u64,
+    /// Slices that were refused admission at least once.
+    pub admission_rejected: u64,
+    /// Total failed admission attempts (one slice can retry many
+    /// periods).
+    pub admission_retries: u64,
+    /// Admissions forced because a slice's demand exceeds even an empty
+    /// cell's overcommitted budget (a slice alone on its server always
+    /// runs).
+    pub admission_forced: u64,
+    /// Warm-eligible spawns whose nearest donor was outside
+    /// [`FleetConfig::transfer_radius`] (they cold-started instead).
+    pub transfer_out_of_range: u64,
+    /// Slices whose control plane died mid-run (retired early).
+    pub failed: u64,
+}
+
+impl FleetReport {
+    /// Median convergence period over late-wave slices (`spawned_at >
+    /// 0`) — the population whose spawns are warm in the warm arm and
+    /// cold in the cold arm, so comparing this number across the two
+    /// arms is the transfer saving. `None` when no late slice has a
+    /// convergence estimate.
+    pub fn median_late_convergence(&self) -> Option<f64> {
+        let xs: Vec<f64> = self
+            .slices
+            .iter()
+            .filter(|s| s.spawned_at > 0)
+            .filter_map(|s| s.convergence_period.map(|c| c as f64))
+            .collect();
+        if xs.is_empty() {
+            None
+        } else {
+            Some(median(&xs))
+        }
+    }
+
+    /// Mean cost per slice-period across the fleet.
+    pub fn mean_cost(&self) -> f64 {
+        if self.slice_periods == 0 {
+            0.0
+        } else {
+            self.aggregate_j / self.slice_periods as f64
+        }
+    }
+
+    /// Mean constraint-satisfaction rate across slices.
+    pub fn mean_satisfaction(&self) -> f64 {
+        if self.slices.is_empty() {
+            return 1.0;
+        }
+        self.slices.iter().map(|s| s.satisfaction).sum::<f64>() / self.slices.len() as f64
+    }
+
+    /// A deterministic one-paragraph summary: identical bytes for
+    /// identical configs regardless of thread count (pinned by
+    /// `tests/fleet.rs`).
+    pub fn summary(&self) -> String {
+        let conv = match self.median_late_convergence() {
+            Some(c) => format!("{c:.1}"),
+            None => "n/a".into(),
+        };
+        format!(
+            "slices={} cells={} lockstep_periods={} slice_periods={} \
+             warm={} cold={} rejected={} retries={} forced={} \
+             out_of_range={} failed={} aggregate_j={:.3} mean_cost={:.3} \
+             satisfaction={:.4} late_median_convergence={}",
+            self.slices.len(),
+            self.cells,
+            self.total_periods,
+            self.slice_periods,
+            self.warm_spawns,
+            self.cold_spawns,
+            self.admission_rejected,
+            self.admission_retries,
+            self.admission_forced,
+            self.transfer_out_of_range,
+            self.failed,
+            self.aggregate_j,
+            self.mean_cost(),
+            self.mean_satisfaction(),
+            conv,
+        )
+    }
+}
+
+/// Fleet-level observability handles (all cheap clones of registry
+/// series; a disabled registry turns every record into a no-op).
+struct FleetMetrics {
+    running: Gauge,
+    pending: Gauge,
+    spawned_warm: Counter,
+    spawned_cold: Counter,
+    retired: Counter,
+    failed: Counter,
+    rejected: Counter,
+    retries: Counter,
+    forced: Counter,
+    out_of_range: Counter,
+    aggregate_j: Gauge,
+    cell_load: Vec<Gauge>,
+}
+
+impl FleetMetrics {
+    fn new(reg: &Registry, cells: usize) -> Self {
+        reg.describe("edgebol_fleet_running_slices", "Slices currently stepping");
+        reg.describe("edgebol_fleet_pending_slices", "Slices waiting for admission");
+        reg.describe("edgebol_fleet_spawned_total", "Slices admitted, by spawn mode");
+        reg.describe("edgebol_fleet_retired_total", "Slices that completed their lifetime");
+        reg.describe("edgebol_fleet_failed_total", "Slices whose control plane died");
+        reg.describe(
+            "edgebol_fleet_admission_rejected_total",
+            "Slices refused admission at least once",
+        );
+        reg.describe("edgebol_fleet_admission_retries_total", "Failed admission attempts");
+        reg.describe(
+            "edgebol_fleet_admission_forced_total",
+            "Admissions forced into an empty cell over budget",
+        );
+        reg.describe(
+            "edgebol_fleet_transfer_out_of_range_total",
+            "Warm-eligible spawns degraded to cold: nearest donor out of range",
+        );
+        reg.describe("edgebol_fleet_aggregate_j", "Running sum of every slice-period's cost");
+        reg.describe("edgebol_fleet_gpu_load", "Admitted demand units per cell");
+        FleetMetrics {
+            running: reg.gauge("edgebol_fleet_running_slices"),
+            pending: reg.gauge("edgebol_fleet_pending_slices"),
+            spawned_warm: reg.counter_with("edgebol_fleet_spawned_total", &[("mode", "warm")]),
+            spawned_cold: reg.counter_with("edgebol_fleet_spawned_total", &[("mode", "cold")]),
+            retired: reg.counter("edgebol_fleet_retired_total"),
+            failed: reg.counter("edgebol_fleet_failed_total"),
+            rejected: reg.counter("edgebol_fleet_admission_rejected_total"),
+            retries: reg.counter("edgebol_fleet_admission_retries_total"),
+            forced: reg.counter("edgebol_fleet_admission_forced_total"),
+            out_of_range: reg.counter("edgebol_fleet_transfer_out_of_range_total"),
+            aggregate_j: reg.gauge("edgebol_fleet_aggregate_j"),
+            cell_load: (0..cells)
+                .map(|c| reg.gauge_with("edgebol_fleet_gpu_load", &[("cell", &c.to_string())]))
+                .collect(),
+        }
+    }
+}
+
+/// A fleet of EdgeBOL slices sharing M GPU-backed cells.
+pub struct Fleet {
+    cfg: FleetConfig,
+    metrics: Registry,
+    journal: Option<Arc<Journal>>,
+}
+
+impl Fleet {
+    /// Builds a fleet from `cfg`. Observability is off by default; wire
+    /// it with [`Fleet::with_metrics`] / [`Fleet::with_journal`].
+    ///
+    /// ```
+    /// use edgebol_fleet::{Fleet, FleetConfig};
+    ///
+    /// let mut cfg = FleetConfig::quick(6);
+    /// cfg.periods = 12;
+    /// let report = Fleet::new(cfg).run();
+    /// assert_eq!(report.slices.len(), 6);
+    /// // The late wave spawned after the seed wave and warm-started.
+    /// assert!(report.warm_spawns + report.cold_spawns == 6);
+    /// assert!(report.slices.iter().any(|s| s.spawned_at > 0));
+    /// ```
+    pub fn new(cfg: FleetConfig) -> Self {
+        assert!(cfg.slices > 0, "a fleet needs at least one slice");
+        assert!(cfg.cells > 0, "a fleet needs at least one cell");
+        assert!(cfg.periods > 0, "slices must live at least one period");
+        assert!(cfg.gpu_capacity > 0.0 && cfg.overcommit >= 1.0, "admission budget must be real");
+        Fleet { cfg, metrics: Registry::disabled(), journal: None }
+    }
+
+    /// Records fleet gauges and counters into `reg` (share it with
+    /// [`edgebol_bench::ops_server`] to expose them on `/metrics`).
+    pub fn with_metrics(mut self, reg: Registry) -> Self {
+        self.metrics = reg;
+        self
+    }
+
+    /// Streams slice lifecycle events (layer `fleet`) into `journal`.
+    pub fn with_journal(mut self, journal: Arc<Journal>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    fn journal_event(
+        &self,
+        kind: &'static str,
+        period: usize,
+        fields: Vec<(&'static str, String)>,
+    ) {
+        if let Some(j) = &self.journal {
+            j.record(Layer::Fleet, kind, Some(period as u64), fields);
+        }
+    }
+
+    /// Per-slice GPU demand estimate: a base share plus a per-user
+    /// share, so heavier slices claim more of the admission budget.
+    fn demand_of(scenario: &Scenario) -> f64 {
+        0.1 + 0.05 * scenario.num_users() as f64
+    }
+
+    /// Runs the fleet to completion: every slice spawns (modulo
+    /// admission delay), lives [`FleetConfig::periods`] periods and
+    /// retires. Returns the deterministic report.
+    pub fn run(&mut self) -> FleetReport {
+        let cfg = self.cfg.clone();
+        let fm = FleetMetrics::new(&self.metrics, cfg.cells);
+        let seed_wave = cfg.seed_wave();
+        let mut slots: Vec<SliceSlot> = (0..cfg.slices)
+            .map(|i| {
+                let scenario = Scenario::fleet_slice(i as u64);
+                SliceSlot {
+                    id: i as u64,
+                    cell: i % cfg.cells,
+                    demand: Self::demand_of(&scenario),
+                    phase: SlicePhase::Pending {
+                        eligible_at: if i < seed_wave { 0 } else { cfg.stagger },
+                    },
+                    runner: None,
+                    trace: Trace::default(),
+                    unit_ctx: [0.0; 3],
+                    spawned_at: 0,
+                    warm: false,
+                    donor: None,
+                    completed: 0,
+                    failed: false,
+                    rejected_once: false,
+                    experience: None,
+                }
+            })
+            .collect();
+        let mut cell_load = vec![0.0f64; cfg.cells];
+        let mut report = FleetReport {
+            slices: Vec::new(),
+            cells: cfg.cells,
+            total_periods: 0,
+            slice_periods: 0,
+            aggregate_j: 0.0,
+            warm_spawns: 0,
+            cold_spawns: 0,
+            admission_rejected: 0,
+            admission_retries: 0,
+            admission_forced: 0,
+            transfer_out_of_range: 0,
+            failed: 0,
+        };
+        let threads = cfg
+            .threads
+            .or_else(edgebol_bench::env::threads)
+            .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
+            .unwrap_or(1);
+
+        let mut t = 0usize;
+        loop {
+            let all_retired = slots.iter().all(|s| s.phase == SlicePhase::Retired);
+            if all_retired {
+                break;
+            }
+            assert!(
+                t < 1_000_000,
+                "fleet driver did not converge: {} slices still pending at period {t}",
+                slots.iter().filter(|s| s.phase != SlicePhase::Retired).count()
+            );
+
+            // Admission pass (driver thread, id order — deterministic).
+            for i in 0..slots.len() {
+                let eligible = match slots[i].phase {
+                    SlicePhase::Pending { eligible_at } => eligible_at <= t,
+                    _ => false,
+                };
+                if !eligible {
+                    continue;
+                }
+                let (cell, demand) = (slots[i].cell, slots[i].demand);
+                let budget = cfg.gpu_capacity * cfg.overcommit;
+                let empty = cell_load[cell] == 0.0;
+                if cell_load[cell] + demand <= budget || empty {
+                    if empty && demand > budget {
+                        report.admission_forced += 1;
+                        fm.forced.inc();
+                    }
+                    self.spawn(&cfg, &mut slots, i, t, &mut report, &fm);
+                    if slots[i].phase == SlicePhase::Running {
+                        cell_load[cell] += demand;
+                    }
+                } else {
+                    report.admission_retries += 1;
+                    fm.retries.inc();
+                    if !slots[i].rejected_once {
+                        slots[i].rejected_once = true;
+                        report.admission_rejected += 1;
+                        fm.rejected.inc();
+                        self.journal_event(
+                            "admission_rejected",
+                            t,
+                            vec![
+                                ("slice", slots[i].id.to_string()),
+                                ("cell", cell.to_string()),
+                                ("load", format!("{:.2}", cell_load[cell])),
+                            ],
+                        );
+                    }
+                }
+            }
+
+            // Contention pass: overcommitted cells slow everyone down.
+            for (c, load) in cell_load.iter().enumerate() {
+                fm.cell_load[c].set(*load);
+            }
+            for slot in slots.iter_mut() {
+                if slot.phase == SlicePhase::Running {
+                    let factor = (cell_load[slot.cell] / cfg.gpu_capacity).max(1.0);
+                    if let Some(r) = &mut slot.runner {
+                        r.get_mut().unwrap_or_else(|e| e.into_inner()).set_gpu_contention(factor);
+                    }
+                }
+            }
+
+            // Lockstep step across worker threads; results come back in
+            // slice-index order regardless of which worker ran what.
+            let running: Vec<usize> =
+                (0..slots.len()).filter(|&i| slots[i].phase == SlicePhase::Running).collect();
+            fm.running.set(running.len() as f64);
+            fm.pending.set(
+                slots.iter().filter(|s| matches!(s.phase, SlicePhase::Pending { .. })).count()
+                    as f64,
+            );
+            let slots_ref = &slots;
+            let running_ref = &running;
+            let results = parallel_map_threads(threads.min(running.len().max(1)), running.len(), {
+                move |k| {
+                    let slot = &slots_ref[running_ref[k]];
+                    let mut orch = slot
+                        .runner
+                        .as_ref()
+                        .expect("running slice has a runner")
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner());
+                    orch.try_step()
+                }
+            });
+
+            // Collect in index order on the driver thread, so float
+            // accumulation never depends on scheduling.
+            for (k, res) in results.into_iter().enumerate() {
+                let i = running[k];
+                match res {
+                    Ok(rec) => {
+                        report.aggregate_j += rec.cost;
+                        report.slice_periods += 1;
+                        slots[i].trace.records.push(rec);
+                        slots[i].completed += 1;
+                        if slots[i].completed >= cfg.periods {
+                            self.retire(&mut slots[i], t, false, &mut report, &fm);
+                            cell_load[slots[i].cell] -= slots[i].demand;
+                        }
+                    }
+                    Err(e) => {
+                        self.journal_event(
+                            "slice_failed",
+                            t,
+                            vec![("slice", slots[i].id.to_string()), ("error", e.to_string())],
+                        );
+                        self.retire(&mut slots[i], t, true, &mut report, &fm);
+                        cell_load[slots[i].cell] -= slots[i].demand;
+                    }
+                }
+            }
+            fm.aggregate_j.set(report.aggregate_j);
+            t += 1;
+        }
+        report.total_periods = t;
+        fm.running.set(0.0);
+        fm.pending.set(0.0);
+        self.journal_event(
+            "fleet_done",
+            t,
+            vec![
+                ("slices", cfg.slices.to_string()),
+                ("slice_periods", report.slice_periods.to_string()),
+            ],
+        );
+        report.slices.sort_by_key(|s| s.id);
+        report
+    }
+
+    /// Spawns slice `i` at period `t`: builds its environment, picks a
+    /// donor if warm-starting, and wires the orchestrator over the
+    /// in-process poll transport (cheapest at fleet scale).
+    fn spawn(
+        &self,
+        cfg: &FleetConfig,
+        slots: &mut [SliceSlot],
+        i: usize,
+        t: usize,
+        report: &mut FleetReport,
+        fm: &FleetMetrics,
+    ) {
+        let id = slots[i].id;
+        let env_seed = cfg.seed.wrapping_add(id.wrapping_mul(0x9E37_79B9));
+        let mut env = FlowTestbed::new(Calibration::fast(), Scenario::fleet_slice(id), env_seed);
+        let unit_ctx = env.observe_context().to_unit();
+
+        // Donor selection: nearest eligible slice in unit context space,
+        // accepted only within the transfer radius.
+        let mut donor: Option<(usize, f64)> = None;
+        if cfg.warm_start && t > 0 {
+            for (j, cand) in slots.iter().enumerate() {
+                let eligible = j != i
+                    && cand.completed >= cfg.min_donor_periods
+                    && matches!(cand.phase, SlicePhase::Running | SlicePhase::Retired)
+                    && !cand.failed;
+                if !eligible {
+                    continue;
+                }
+                let d = dist(&unit_ctx, &cand.unit_ctx);
+                if donor.map(|(_, best)| d < best).unwrap_or(true) {
+                    donor = Some((j, d));
+                }
+            }
+        }
+        let (experience, donor_id) = match donor {
+            Some((j, d)) if d <= cfg.transfer_radius => {
+                let exp = match &slots[j].experience {
+                    Some(e) => Some(e.clone()),
+                    None => slots[j].runner.as_ref().and_then(|r| {
+                        r.lock().unwrap_or_else(|e| e.into_inner()).agent_experience()
+                    }),
+                };
+                (exp, Some(slots[j].id))
+            }
+            Some((_, _)) => {
+                report.transfer_out_of_range += 1;
+                fm.out_of_range.inc();
+                (None, None)
+            }
+            None => (None, None),
+        };
+
+        let spec = ProblemSpec::new(1.0, 8.0, cfg.d_max, cfg.rho_min);
+        let mut agent = EdgeBolAgent::quick_for_tests(&spec, env_seed.wrapping_add(1));
+        let warm = match &experience {
+            Some(exp) if !exp.is_empty() => {
+                let cap = exp.len().saturating_sub(cfg.transfer_cap);
+                agent = agent.with_experience(&exp[cap..]);
+                true
+            }
+            _ => false,
+        };
+
+        let slot = &mut slots[i];
+        slot.unit_ctx = unit_ctx;
+        slot.spawned_at = t;
+        slot.warm = warm;
+        slot.donor = if warm { donor_id } else { None };
+        match Orchestrator::new_with_transport(
+            Box::new(env),
+            Box::new(agent),
+            spec,
+            ChaosConfig::disabled(),
+            Registry::disabled(),
+            TransportKind::Poll,
+        ) {
+            Ok(orch) => {
+                slot.runner = Some(Mutex::new(orch));
+                slot.phase = SlicePhase::Running;
+                if warm {
+                    report.warm_spawns += 1;
+                    fm.spawned_warm.inc();
+                } else {
+                    report.cold_spawns += 1;
+                    fm.spawned_cold.inc();
+                }
+                self.journal_event(
+                    "slice_spawned",
+                    t,
+                    vec![
+                        ("slice", id.to_string()),
+                        ("cell", slot.cell.to_string()),
+                        ("mode", if warm { "warm".into() } else { "cold".into() }),
+                        ("donor", slot.donor.map(|d| d.to_string()).unwrap_or_else(|| "-".into())),
+                    ],
+                );
+            }
+            Err(e) => {
+                // The in-process control plane cannot realistically fail
+                // to wire up, but a dead slice must not wedge the fleet.
+                slot.phase = SlicePhase::Retired;
+                slot.failed = true;
+                report.failed += 1;
+                fm.failed.inc();
+                report.slices.push(SliceReport {
+                    id,
+                    cell: slot.cell,
+                    spawned_at: t,
+                    warm: false,
+                    donor: None,
+                    periods: 0,
+                    convergence_period: None,
+                    mean_cost: 0.0,
+                    early_cost: 0.0,
+                    tail_cost: 0.0,
+                    satisfaction: 1.0,
+                });
+                self.journal_event(
+                    "slice_failed",
+                    t,
+                    vec![("slice", id.to_string()), ("error", e.to_string())],
+                );
+            }
+        }
+    }
+
+    /// Retires a slice: exports its final experience for future donors,
+    /// drops the orchestrator and records its report row.
+    fn retire(
+        &self,
+        slot: &mut SliceSlot,
+        t: usize,
+        failed: bool,
+        report: &mut FleetReport,
+        fm: &FleetMetrics,
+    ) {
+        if let Some(r) = slot.runner.take() {
+            let orch = r.into_inner().unwrap_or_else(|e| e.into_inner());
+            slot.experience = orch.agent_experience();
+        }
+        slot.phase = SlicePhase::Retired;
+        slot.failed = slot.failed || failed;
+        if failed {
+            report.failed += 1;
+            fm.failed.inc();
+        } else {
+            fm.retired.inc();
+        }
+        let conv = slot.trace.convergence_period(0.1);
+        self.journal_event(
+            "slice_retired",
+            t,
+            vec![
+                ("slice", slot.id.to_string()),
+                ("periods", slot.completed.to_string()),
+                ("convergence", conv.map(|c| c.to_string()).unwrap_or_else(|| "-".into())),
+            ],
+        );
+        report.slices.push(SliceReport {
+            id: slot.id,
+            cell: slot.cell,
+            spawned_at: slot.spawned_at,
+            warm: slot.warm,
+            donor: slot.donor,
+            periods: slot.completed,
+            convergence_period: conv,
+            mean_cost: if slot.completed == 0 {
+                0.0
+            } else {
+                slot.trace.costs().iter().sum::<f64>() / slot.completed as f64
+            },
+            early_cost: {
+                let k = slot.completed.min(8);
+                if k == 0 {
+                    0.0
+                } else {
+                    slot.trace.costs()[..k].iter().sum::<f64>() / k as f64
+                }
+            },
+            tail_cost: if slot.completed == 0 { 0.0 } else { slot.trace.tail_mean_cost(10) },
+            satisfaction: slot.trace.satisfaction_rate(6),
+        });
+    }
+}
+
+/// Euclidean distance in unit context space.
+fn dist(a: &[f64; 3], b: &[f64; 3]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}

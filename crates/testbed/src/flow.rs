@@ -88,6 +88,10 @@ pub struct FlowTestbed {
     period: usize,
     /// Per-user SNR sampled at `observe_context`, consumed by `step`.
     period_snrs: Vec<f64>,
+    /// Cross-slice GPU contention multiplier on per-image inference time
+    /// (1.0 = dedicated server); set by the fleet layer's shared-server
+    /// model via [`Environment::set_gpu_contention`].
+    gpu_contention: f64,
 }
 
 impl FlowTestbed {
@@ -104,7 +108,13 @@ impl FlowTestbed {
             rng: SmallRng::seed_from_u64(seed),
             period: 0,
             period_snrs: vec![0.0; n],
+            gpu_contention: 1.0,
         }
+    }
+
+    /// Current cross-slice GPU contention multiplier.
+    pub fn gpu_contention(&self) -> f64 {
+        self.gpu_contention
     }
 
     /// The calibration in force.
@@ -137,7 +147,7 @@ impl FlowTestbed {
         let bits = enc.bytes * 8.0;
         let pre = enc.preproc_s;
         let gamma = GpuSpeedPolicy::clamped(control.gpu_speed);
-        let inf = c.gpu.inference_time_s(control.resolution, gamma);
+        let inf = c.gpu.inference_time_s(control.resolution, gamma) * self.gpu_contention;
         let fixed = c.dl_fixed_s + c.stack_overhead_s;
         let alpha = control.airtime.clamp(0.05, 1.0);
 
@@ -293,6 +303,12 @@ impl Environment for FlowTestbed {
     fn num_users(&self) -> usize {
         self.scenario.num_users()
     }
+
+    fn set_gpu_contention(&mut self, factor: f64) {
+        debug_assert!(factor.is_finite(), "contention factor {factor}");
+        // A slice cannot run faster than on a dedicated server.
+        self.gpu_contention = factor.max(1.0);
+    }
 }
 
 #[cfg(test)]
@@ -442,6 +458,20 @@ mod tests {
         let m_quarter = t.expected_map(0.25);
         assert!((0.5..0.75).contains(&m_full), "mAP(1.0) {m_full}");
         assert!((0.1..0.45).contains(&m_quarter), "mAP(0.25) {m_quarter}");
+    }
+
+    #[test]
+    fn gpu_contention_inflates_delay_and_gpu_load() {
+        let mut t = tb(Scenario::single_user(35.0));
+        let free = t.steady_state(&[35.0], &max_ctrl());
+        t.set_gpu_contention(2.0);
+        assert_eq!(t.gpu_contention(), 2.0);
+        let contended = t.steady_state(&[35.0], &max_ctrl());
+        assert!(contended.worst_delay_s() > free.worst_delay_s());
+        assert!(contended.gpu_delay_s > free.gpu_delay_s);
+        // Factors below 1 clamp: a slice can't go faster than dedicated.
+        t.set_gpu_contention(0.5);
+        assert_eq!(t.gpu_contention(), 1.0);
     }
 
     #[test]

@@ -59,4 +59,14 @@ pub trait Environment: Send {
 
     /// Number of users currently in the slice.
     fn num_users(&self) -> usize;
+
+    /// Informs the environment of cross-slice GPU contention: `factor`
+    /// is the multiplier on effective per-image inference time caused by
+    /// other slices sharing the same physical GPU server (`1.0` = the
+    /// slice has the server to itself). The fleet layer's shared-server
+    /// admission model calls this once per period; environments that do
+    /// not model a shared server ignore it (the default is a no-op), so
+    /// every existing single-slice environment keeps its behaviour
+    /// bit-exactly.
+    fn set_gpu_contention(&mut self, _factor: f64) {}
 }

@@ -71,6 +71,33 @@ impl Scenario {
         Self::chaos_suite()
     }
 
+    /// The deterministic fleet-slice scenario family: slice `id` of a
+    /// multi-slice deployment gets a population and radio situation
+    /// derived (splitmix-style) from its id alone, so a fleet of any
+    /// size is reproducible without carrying per-slice configuration.
+    ///
+    /// The family spans the contextual range the paper's learner sees:
+    /// 1–4 users, base SNR 22–38 dB, per-user offsets up to −6 dB. Two
+    /// slices with nearby ids are *not* correlated — neighbourhood in
+    /// context space is what the fleet layer's warm-start transfer keys
+    /// on, not id adjacency.
+    pub fn fleet_slice(id: u64) -> Self {
+        // splitmix64: a well-mixed 64-bit hash of the slice id.
+        let mut x = id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        let n = 1 + (x % 4) as usize;
+        let snr = 22.0 + ((x >> 8) % 1601) as f64 * 0.01; // 22.00–38.00 dB
+        let users = (0..n)
+            .map(|i| {
+                let h = (x >> (16 + 4 * i)) & 0xFF;
+                UserCfg { offset_db: -(h as f64) * 6.0 / 255.0 }
+            })
+            .collect();
+        Scenario { trace: SnrTrace::constant(snr), users }
+    }
+
     /// Number of users.
     pub fn num_users(&self) -> usize {
         self.users.len()
@@ -134,5 +161,30 @@ mod tests {
     #[should_panic(expected = "at least one user")]
     fn heterogeneous_rejects_zero_users() {
         let _ = Scenario::heterogeneous(0);
+    }
+
+    #[test]
+    fn fleet_slice_is_deterministic_and_in_range() {
+        for id in 0..200 {
+            let a = Scenario::fleet_slice(id);
+            let b = Scenario::fleet_slice(id);
+            assert_eq!(a.num_users(), b.num_users(), "slice {id}");
+            assert!((1..=4).contains(&a.num_users()), "slice {id}: {} users", a.num_users());
+            for u in 0..a.num_users() {
+                assert_eq!(a.snr_db(u, 0), b.snr_db(u, 0), "slice {id} user {u}");
+                let snr = a.snr_db(u, 0);
+                assert!((16.0..=38.0).contains(&snr), "slice {id} user {u}: {snr} dB");
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_slices_are_diverse() {
+        let counts: Vec<usize> = (0..64).map(|i| Scenario::fleet_slice(i).num_users()).collect();
+        let snrs: Vec<f64> = (0..64).map(|i| Scenario::fleet_slice(i).snr_db(0, 0)).collect();
+        assert!(counts.contains(&1) && counts.iter().any(|&c| c > 1));
+        let lo = snrs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = snrs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(hi - lo > 5.0, "SNR spread {lo}..{hi} too narrow");
     }
 }

@@ -56,6 +56,8 @@ pub enum Layer {
     Ops,
     /// Bench harness lifecycle (run start/stop, flight dumps).
     Bench,
+    /// Multi-slice fleet lifecycle (spawn, warm-start, admission, retire).
+    Fleet,
 }
 
 impl Layer {
@@ -68,6 +70,7 @@ impl Layer {
             Layer::Transport => "transport",
             Layer::Ops => "ops",
             Layer::Bench => "bench",
+            Layer::Fleet => "fleet",
         }
     }
 }

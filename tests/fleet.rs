@@ -1,0 +1,158 @@
+//! Fleet-layer integration tests: warm-start transfer correctness,
+//! graceful out-of-range degradation, admission accounting, and
+//! byte-stable reports across thread counts.
+
+use edgebol_fleet::{Fleet, FleetConfig};
+use edgebol_metrics::Registry;
+use edgebol_trace::{Journal, Layer};
+use std::sync::Arc;
+
+/// A small two-wave fleet: 2 seed slices at period 0, 6 late slices at
+/// period 8, each living 16 periods.
+fn small_cfg(warm: bool) -> FleetConfig {
+    let mut cfg = FleetConfig::quick(8);
+    cfg.periods = 16;
+    cfg.stagger = 8;
+    cfg.warm_start = warm;
+    cfg.threads = Some(2);
+    cfg
+}
+
+/// Mean first-8-period cost over the late wave — the price of the
+/// learning phase (cold slices pay the max-resources warm-up box).
+fn late_wave_early_cost(fleet: &edgebol_fleet::FleetReport) -> f64 {
+    let late: Vec<&edgebol_fleet::SliceReport> =
+        fleet.slices.iter().filter(|s| s.spawned_at > 0).collect();
+    assert!(!late.is_empty(), "the late wave must exist");
+    late.iter().map(|s| s.early_cost).sum::<f64>() / late.len() as f64
+}
+
+#[test]
+fn warm_start_cuts_late_wave_convergence_vs_cold() {
+    let warm = Fleet::new(small_cfg(true)).run();
+    let cold = Fleet::new(small_cfg(false)).run();
+
+    // Identical admission dynamics: both arms spawn every slice at the
+    // same period and run the same number of slice-periods.
+    assert_eq!(warm.slice_periods, cold.slice_periods);
+    for (w, c) in warm.slices.iter().zip(&cold.slices) {
+        assert_eq!(w.spawned_at, c.spawned_at, "slice {}", w.id);
+    }
+
+    // The late wave actually warm-started in the warm arm.
+    assert!(warm.warm_spawns > 0, "no slice warm-started: {}", warm.summary());
+    assert_eq!(cold.warm_spawns, 0);
+
+    // Transfer buys convergence: the late wave's median convergence
+    // period must not be worse than cold (in practice it collapses to
+    // ~0 because the imported posterior skips warm-up entirely).
+    let wc = warm.median_late_convergence().expect("warm late convergence");
+    let cc = cold.median_late_convergence().expect("cold late convergence");
+    assert!(wc <= cc, "warm median convergence {wc} > cold {cc}");
+
+    // First-K-period regret: the cold late wave pays the max-resources
+    // S_0 warm-up box; the warm late wave starts from the donor's
+    // posterior and must not pay more over the same first 8 periods.
+    let warm_early = late_wave_early_cost(&warm);
+    let cold_early = late_wave_early_cost(&cold);
+    assert!(
+        warm_early <= cold_early,
+        "warm first-8 cost {warm_early:.1} exceeds cold {cold_early:.1}"
+    );
+}
+
+#[test]
+fn out_of_range_context_degrades_to_cold_start_and_is_counted() {
+    let mut cfg = small_cfg(true);
+    // A negative transfer radius makes every donor out of range (two
+    // quantized-CQI contexts can coincide exactly, so 0.0 would not):
+    // each warm-eligible spawn must degrade to a cold start without
+    // panicking.
+    cfg.transfer_radius = -1.0;
+    let reg = Registry::new();
+    let report = Fleet::new(cfg.clone()).with_metrics(reg.clone()).run();
+
+    assert_eq!(report.warm_spawns, 0, "{}", report.summary());
+    assert_eq!(report.cold_spawns as usize, cfg.slices);
+    assert!(report.transfer_out_of_range > 0, "{}", report.summary());
+    assert!(report.slices.iter().all(|s| s.periods == cfg.periods));
+
+    // The degradation is visible on the metrics surface.
+    let snap = reg.snapshot();
+    assert_eq!(
+        snap.counter("edgebol_fleet_transfer_out_of_range_total"),
+        Some(report.transfer_out_of_range)
+    );
+    assert_eq!(
+        snap.counter("edgebol_fleet_spawned_total{mode=\"cold\"}"),
+        Some(report.cold_spawns)
+    );
+    assert_eq!(snap.counter("edgebol_fleet_spawned_total{mode=\"warm\"}"), Some(0));
+}
+
+#[test]
+fn report_summary_is_byte_stable_across_thread_counts() {
+    let mut one = small_cfg(true);
+    one.threads = Some(1);
+    let mut four = small_cfg(true);
+    four.threads = Some(4);
+    let r1 = Fleet::new(one).run();
+    let r4 = Fleet::new(four).run();
+    assert_eq!(r1.summary(), r4.summary());
+    // Per-slice outcomes match bit-for-bit, not just in aggregate.
+    assert_eq!(r1.slices.len(), r4.slices.len());
+    for (a, b) in r1.slices.iter().zip(&r4.slices) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.spawned_at, b.spawned_at);
+        assert_eq!(a.warm, b.warm);
+        assert_eq!(a.donor, b.donor);
+        assert_eq!(a.convergence_period, b.convergence_period);
+        assert!(a.mean_cost.to_bits() == b.mean_cost.to_bits(), "slice {}", a.id);
+    }
+}
+
+#[test]
+fn admission_caps_concurrency_and_every_slice_still_runs() {
+    let mut cfg = FleetConfig::quick(6);
+    cfg.cells = 1;
+    cfg.periods = 8;
+    cfg.stagger = 0; // everyone eligible at once: the queue must drain in shifts
+    cfg.warm_start = false;
+    cfg.gpu_capacity = 0.3;
+    cfg.overcommit = 1.0;
+    cfg.threads = Some(2);
+    let reg = Registry::new();
+    let report = Fleet::new(cfg.clone()).with_metrics(reg.clone()).run();
+
+    assert!(report.admission_rejected > 0, "{}", report.summary());
+    assert!(report.admission_retries >= report.admission_rejected);
+    // Nobody starves: every slice eventually runs its full lifetime,
+    // which forces the lockstep driver past one slice-generation.
+    assert_eq!(report.slices.len(), cfg.slices);
+    assert!(report.slices.iter().all(|s| s.periods == cfg.periods));
+    assert!(report.total_periods > cfg.periods, "no queueing happened");
+    let snap = reg.snapshot();
+    assert_eq!(
+        snap.counter("edgebol_fleet_admission_rejected_total"),
+        Some(report.admission_rejected)
+    );
+}
+
+#[test]
+fn fleet_journals_slice_lifecycle_events() {
+    let journal = Arc::new(Journal::new());
+    let mut cfg = small_cfg(true);
+    cfg.slices = 4;
+    let report = Fleet::new(cfg).with_journal(journal.clone()).run();
+    assert_eq!(report.slices.len(), 4);
+
+    let events = journal.snapshot();
+    assert!(!events.is_empty());
+    assert!(events.iter().all(|e| e.layer == Layer::Fleet));
+    let kinds: Vec<&str> = events.iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&"slice_spawned"), "kinds: {kinds:?}");
+    assert!(kinds.contains(&"slice_retired"), "kinds: {kinds:?}");
+    assert!(kinds.contains(&"fleet_done"), "kinds: {kinds:?}");
+    assert_eq!(kinds.iter().filter(|k| **k == "slice_spawned").count(), 4);
+    assert_eq!(kinds.iter().filter(|k| **k == "slice_retired").count(), 4);
+}
