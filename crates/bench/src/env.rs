@@ -31,6 +31,12 @@
 //! | `EDGEBOL_FLEET_CELLS` | [`fleet_cells`] | number of cells (GPU servers)  |
 //! | `EDGEBOL_FLEET_GPU_CAPACITY` | [`fleet_gpu_capacity`] | per-cell capacity (demand units) |
 //! | `EDGEBOL_FLEET_MODE`  | [`fleet_mode`]  | `both` (default)/`warm`/`cold` |
+//! | `EDGEBOL_CKPT_DIR`    | [`ckpt_dir`]    | directory for slice checkpoints |
+//! | `EDGEBOL_CKPT_EVERY`  | [`ckpt_every`]  | checkpoint cadence in periods  |
+//! | `EDGEBOL_FLEET_KILL`  | [`fleet_kill`]  | `slice:<id>@<period>,...` kill schedule |
+//! | `EDGEBOL_SOAK_CYCLES` | [`soak_cycles`] | kill/restore cycles per soak pass |
+//! | `EDGEBOL_SOAK_SECONDS` | [`soak_seconds`] | soak wall-clock budget (0 = one bounded pass) |
+//! | `EDGEBOL_SOAK_SLICES` | [`soak_slices`] | fleet size per soak pass       |
 //!
 //! (`EDGEBOL_GP_EVICT` is parsed by `edgebol_gp::EvictStrategy` rather
 //! than here — the GP layer cannot depend on the bench crate — but
@@ -379,6 +385,96 @@ pub fn fleet_mode() -> FleetMode {
     }
 }
 
+/// `EDGEBOL_CKPT_DIR`: the directory the fleet driver writes per-slice
+/// checkpoint files (`slice-<id>.ckpt`) into, or `None` to disable
+/// checkpointing. Any non-empty path is accepted; the atomic writer
+/// creates missing parents at write time.
+pub fn ckpt_dir() -> Option<PathBuf> {
+    raw("EDGEBOL_CKPT_DIR").map(PathBuf::from)
+}
+
+/// `EDGEBOL_CKPT_EVERY`: checkpoint cadence in lockstep periods
+/// (default 8). `0` disables the cadence even when `EDGEBOL_CKPT_DIR`
+/// is set.
+///
+/// # Panics
+/// On a malformed value.
+pub fn ckpt_every() -> usize {
+    usize_knob("EDGEBOL_CKPT_EVERY", 8)
+}
+
+/// Parses an `EDGEBOL_FLEET_KILL`-style crash schedule:
+/// `slice:<id>@<period>` entries, comma-separated — e.g.
+/// `slice:3@120,slice:0@40` kills slice 3's runner at the start of
+/// lockstep period 120 and slice 0's at period 40.
+///
+/// # Errors
+/// A message naming the expectation when any entry deviates from the
+/// grammar.
+pub fn parse_kill_schedule(v: &str) -> Result<Vec<(u64, usize)>, String> {
+    const EXPECTED: &str = "slice:<id>@<period> entries, comma-separated";
+    let mut out = Vec::new();
+    for entry in v.split(',') {
+        let entry = entry.trim();
+        let body = entry.strip_prefix("slice:").ok_or_else(|| EXPECTED.to_string())?;
+        let (id, period) = body.split_once('@').ok_or_else(|| EXPECTED.to_string())?;
+        let id = id.trim().parse::<u64>().map_err(|_| EXPECTED.to_string())?;
+        let period = period.trim().parse::<usize>().map_err(|_| EXPECTED.to_string())?;
+        out.push((id, period));
+    }
+    if out.is_empty() {
+        return Err(EXPECTED.into());
+    }
+    Ok(out)
+}
+
+/// `EDGEBOL_FLEET_KILL`: the fleet crash-injection schedule, or an
+/// empty schedule when unset. Each entry destroys one slice's control
+/// plane at the start of the named lockstep period; the driver then
+/// restarts it from its latest checkpoint (cold, counted, when none
+/// survives decode).
+///
+/// # Panics
+/// On a malformed schedule.
+pub fn fleet_kill() -> Vec<(u64, usize)> {
+    match raw("EDGEBOL_FLEET_KILL") {
+        None => Vec::new(),
+        Some(v) => match parse_kill_schedule(&v) {
+            Ok(s) => s,
+            Err(e) => invalid("EDGEBOL_FLEET_KILL", &v, &e),
+        },
+    }
+}
+
+/// `EDGEBOL_SOAK_CYCLES`: how many kill/restore cycles (each paired
+/// with a link cut + heal) one soak pass injects (default 3, the
+/// acceptance floor).
+///
+/// # Panics
+/// On a malformed value.
+pub fn soak_cycles() -> usize {
+    usize_knob("EDGEBOL_SOAK_CYCLES", 3)
+}
+
+/// `EDGEBOL_SOAK_SECONDS`: wall-clock budget for the `soak` binary.
+/// `0` (the default) runs exactly one bounded deterministic pass — the
+/// CI mode, whose stdout summary is byte-stable across thread counts;
+/// any positive value repeats passes until the budget is spent.
+///
+/// # Panics
+/// On a malformed value.
+pub fn soak_seconds() -> usize {
+    usize_knob("EDGEBOL_SOAK_SECONDS", 0)
+}
+
+/// `EDGEBOL_SOAK_SLICES`: fleet size per soak pass (default 8).
+///
+/// # Panics
+/// On a malformed value.
+pub fn soak_slices() -> usize {
+    usize_knob("EDGEBOL_SOAK_SLICES", 8)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -457,6 +553,18 @@ mod tests {
         assert!(parse_positive_f64("-1").is_err());
         assert!(parse_positive_f64("inf").is_err());
         assert!(parse_positive_f64("lots").is_err());
+    }
+
+    #[test]
+    fn kill_schedules_parse_and_reject_garbage() {
+        assert_eq!(parse_kill_schedule("slice:3@120"), Ok(vec![(3, 120)]));
+        assert_eq!(parse_kill_schedule(" slice:3@120 , slice:0@40 "), Ok(vec![(3, 120), (0, 40)]));
+        assert!(parse_kill_schedule("").is_err());
+        assert!(parse_kill_schedule("3@120").is_err(), "missing slice: prefix");
+        assert!(parse_kill_schedule("slice:3").is_err(), "missing @period");
+        assert!(parse_kill_schedule("slice:three@120").is_err());
+        assert!(parse_kill_schedule("slice:3@").is_err());
+        assert!(parse_kill_schedule("slice:3@-1").is_err());
     }
 
     #[test]

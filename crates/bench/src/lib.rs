@@ -212,7 +212,29 @@ pub fn ops_server() -> Option<&'static OpsServer> {
 }
 
 /// How many trailing periods of journal events a flight record keeps.
-const FLIGHT_KEEP_PERIODS: u64 = 16;
+/// Public so other layers (the fleet driver's early-retire path) dump
+/// records with the same retention as the single-run harness.
+pub const FLIGHT_KEEP_PERIODS: u64 = 16;
+
+/// The standard flight-record meta rows for an orchestrator that died
+/// with `e`: error, stage, transport, circuit and outage accounting.
+/// Shared by `dump_flight_on_error` below and the fleet layer's
+/// early-retire path, so every incident file has the same shape no
+/// matter which driver wrote it.
+pub fn flight_meta(orch: &Orchestrator, e: &OrchestratorError) -> Vec<(&'static str, String)> {
+    let mut meta = vec![
+        ("error", e.to_string()),
+        ("stage", e.stage().to_string()),
+        ("transport", format!("{:?}", orch.transport())),
+        ("circuit", format!("{:?}", orch.circuit_state())),
+        ("local_autonomy_periods", orch.local_autonomy_periods().to_string()),
+        ("degraded_events", orch.degraded_events().to_string()),
+    ];
+    if let Some(p) = orch.first_outage_period() {
+        meta.push(("first_outage_period", p.to_string()));
+    }
+    meta
+}
 
 /// Dumps the crash flight record for a run that died with `e`, when
 /// `EDGEBOL_FLIGHT_DIR` is set: the last [`FLIGHT_KEEP_PERIODS`]
@@ -226,17 +248,7 @@ fn dump_flight_on_error(orch: &Orchestrator, e: &OrchestratorError) {
         orch.first_outage_period().map(|p| p as u64),
         vec![("error", e.to_string())],
     );
-    let mut meta = vec![
-        ("error", e.to_string()),
-        ("stage", e.stage().to_string()),
-        ("transport", format!("{:?}", orch.transport())),
-        ("circuit", format!("{:?}", orch.circuit_state())),
-        ("local_autonomy_periods", orch.local_autonomy_periods().to_string()),
-        ("degraded_events", orch.degraded_events().to_string()),
-    ];
-    if let Some(p) = orch.first_outage_period() {
-        meta.push(("first_outage_period", p.to_string()));
-    }
+    let meta = flight_meta(orch, e);
     match edgebol_trace::dump_flight_record(&dir, e.stage(), FLIGHT_KEEP_PERIODS, journal(), &meta)
     {
         Ok(path) => eprintln!("[edgebol-bench] flight record written to {}", path.display()),

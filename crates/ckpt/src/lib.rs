@@ -1,0 +1,586 @@
+//! Crash-consistent checkpoint format.
+//!
+//! A checkpoint file is a single self-describing blob:
+//!
+//! ```text
+//! magic   "EBCK"          4 bytes
+//! version u16 LE          format revision (currently 1)
+//! kind    u8 len + bytes  payload discriminator ("edgebol", "fleet", ...)
+//! len     u64 LE          payload length in bytes
+//! crc     u32 LE          CRC-32 (IEEE) of the payload
+//! payload len bytes
+//! ```
+//!
+//! Three properties matter more than compactness:
+//!
+//! * **Crash consistency** — [`write_atomic`] writes a temp file in the
+//!   same directory, fsyncs it, and renames it over the target, so a
+//!   reader only ever sees the previous complete snapshot or the new
+//!   complete snapshot, never a torn one. The directory is fsynced after
+//!   the rename so the new name survives a power loss.
+//! * **Typed failure** — every way a file can be wrong (missing,
+//!   truncated, bit-flipped, from a different subsystem or a future
+//!   format revision) surfaces as a [`CkptError`] variant, never a
+//!   panic. Restore callers treat any error as "cold start".
+//! * **Zero dependencies** — encoding is hand-rolled little-endian with
+//!   bounds-checked reads ([`Enc`]/[`Dec`]), the checksum is a local
+//!   CRC-32, and the only platform surface is `std::fs`.
+//!
+//! The payload grammar is owned by each subsystem (learner,
+//! orchestrator, fleet registry); this crate only guarantees that what
+//! was written is exactly what is read back, or a typed error.
+
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Current format revision written by [`write_atomic`].
+pub const VERSION: u16 = 1;
+
+const MAGIC: [u8; 4] = *b"EBCK";
+
+/// Everything that can be wrong with a checkpoint file or payload.
+#[derive(Debug)]
+pub enum CkptError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The file does not start with the `EBCK` magic — not a checkpoint.
+    BadMagic,
+    /// The file was written by an unknown (future) format revision.
+    UnsupportedVersion(
+        /// The revision found in the header.
+        u16,
+    ),
+    /// The file's kind discriminator names a different subsystem.
+    WrongKind {
+        /// The kind the reader asked for.
+        expected: String,
+        /// The kind found in the header.
+        found: String,
+    },
+    /// The payload checksum does not match the header — bit rot or a
+    /// torn write that somehow bypassed the atomic rename.
+    CrcMismatch {
+        /// The checksum recorded in the header.
+        expected: u32,
+        /// The checksum of the payload as read.
+        found: u32,
+    },
+    /// The file or payload ends before a declared field — truncation.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// A field decoded but its value is impossible (wrong dimensionality,
+    /// unknown discriminant, inconsistent lengths).
+    BadValue(
+        /// What was wrong.
+        String,
+    ),
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "checkpoint io: {e}"),
+            CkptError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CkptError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v} (this build reads {VERSION})")
+            }
+            CkptError::WrongKind { expected, found } => {
+                write!(f, "checkpoint kind {found:?}, expected {expected:?}")
+            }
+            CkptError::CrcMismatch { expected, found } => {
+                write!(f, "checkpoint corrupt: crc {found:#010x}, header says {expected:#010x}")
+            }
+            CkptError::Truncated { needed, have } => {
+                write!(f, "checkpoint truncated: needed {needed} bytes, have {have}")
+            }
+            CkptError::BadValue(what) => write!(f, "checkpoint field invalid: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CkptError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CkptError {
+    fn from(e: std::io::Error) -> Self {
+        CkptError::Io(e)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built once.
+fn crc_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+/// CRC-32 (IEEE) of `bytes` — the checksum stored in the header.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Frames `payload` with the header and returns the complete file image.
+pub fn encode_file(kind: &str, payload: &[u8]) -> Vec<u8> {
+    assert!(kind.len() <= u8::MAX as usize, "kind discriminator too long");
+    let mut out = Vec::with_capacity(4 + 2 + 1 + kind.len() + 8 + 4 + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.push(kind.len() as u8);
+    out.extend_from_slice(kind.as_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Parses a complete file image, verifying magic, version, kind and
+/// checksum, and returns the payload.
+///
+/// # Errors
+/// Any [`CkptError`] variant except `Io`; never panics on hostile input.
+pub fn decode_file(bytes: &[u8], kind: &str) -> Result<Vec<u8>, CkptError> {
+    let mut d = Dec::new(bytes);
+    let magic = d.bytes_fixed(4)?;
+    if magic != MAGIC {
+        return Err(CkptError::BadMagic);
+    }
+    let version = d.u16()?;
+    if version != VERSION {
+        return Err(CkptError::UnsupportedVersion(version));
+    }
+    let kind_len = d.u8()? as usize;
+    let kind_bytes = d.bytes_fixed(kind_len)?;
+    let found = String::from_utf8_lossy(kind_bytes).into_owned();
+    if found != kind {
+        return Err(CkptError::WrongKind { expected: kind.to_string(), found });
+    }
+    let len = d.u64()? as usize;
+    let crc = d.u32()?;
+    let payload = d.bytes_fixed(len)?;
+    let actual = crc32(payload);
+    if actual != crc {
+        return Err(CkptError::CrcMismatch { expected: crc, found: actual });
+    }
+    Ok(payload.to_vec())
+}
+
+/// Writes `payload` to `path` crash-consistently: temp file in the same
+/// directory, fsync, rename over the target, fsync the directory.
+///
+/// # Errors
+/// [`CkptError::Io`] when any filesystem step fails; the target is
+/// either untouched or fully replaced.
+pub fn write_atomic(path: &Path, kind: &str, payload: &[u8]) -> Result<(), CkptError> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        fs::create_dir_all(dir)?;
+    }
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| CkptError::BadValue(format!("checkpoint path {path:?} has no file name")))?;
+    let mut tmp = PathBuf::from(path);
+    tmp.set_file_name(format!(".{}.tmp", file_name.to_string_lossy()));
+    let image = encode_file(kind, payload);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&image)?;
+        f.sync_all()?;
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    // Persist the rename itself. Directory fsync is a Unix concept; on
+    // platforms where opening a directory fails this is best-effort.
+    if let Some(dir) = dir {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Reads and verifies the checkpoint at `path`, returning its payload.
+///
+/// # Errors
+/// [`CkptError::Io`] when the file cannot be read (including "does not
+/// exist" — callers usually map that to a cold start), or any decode
+/// error from [`decode_file`].
+pub fn read(path: &Path, kind: &str) -> Result<Vec<u8>, CkptError> {
+    let bytes = fs::read(path)?;
+    decode_file(&bytes, kind)
+}
+
+/// Little-endian payload encoder. Values written through [`Enc`] read
+/// back through [`Dec`] in the same order.
+#[derive(Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// The encoded bytes so far.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends an `f64` by bit pattern (exact round trip, NaN included).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a `bool` as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Appends a length-prefixed `f64` slice.
+    pub fn f64s(&mut self, vs: &[f64]) {
+        self.usize(vs.len());
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+
+    /// Appends a length-prefixed byte slice.
+    pub fn bytes(&mut self, vs: &[u8]) {
+        self.usize(vs.len());
+        self.buf.extend_from_slice(vs);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+}
+
+/// Bounds-checked little-endian payload decoder over a byte slice.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A decoder positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Errors unless every byte was consumed — catches grammar drift
+    /// between writer and reader.
+    ///
+    /// # Errors
+    /// [`CkptError::BadValue`] naming the leftover byte count.
+    pub fn expect_end(&self) -> Result<(), CkptError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CkptError::BadValue(format!("{} trailing bytes after payload", self.remaining())))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        if self.remaining() < n {
+            return Err(CkptError::Truncated { needed: n, have: self.remaining() });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads `n` raw bytes.
+    ///
+    /// # Errors
+    /// [`CkptError::Truncated`] when fewer than `n` bytes remain.
+    pub fn bytes_fixed(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        self.take(n)
+    }
+
+    /// Reads a `u8`.
+    ///
+    /// # Errors
+    /// [`CkptError::Truncated`] at end of input.
+    pub fn u8(&mut self) -> Result<u8, CkptError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u16`.
+    ///
+    /// # Errors
+    /// [`CkptError::Truncated`] at end of input.
+    pub fn u16(&mut self) -> Result<u16, CkptError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len checked")))
+    }
+
+    /// Reads a `u32`.
+    ///
+    /// # Errors
+    /// [`CkptError::Truncated`] at end of input.
+    pub fn u32(&mut self) -> Result<u32, CkptError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len checked")))
+    }
+
+    /// Reads a `u64`.
+    ///
+    /// # Errors
+    /// [`CkptError::Truncated`] at end of input.
+    pub fn u64(&mut self) -> Result<u64, CkptError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len checked")))
+    }
+
+    /// Reads a `usize` written by [`Enc::usize`], rejecting values that
+    /// do not fit the platform.
+    ///
+    /// # Errors
+    /// [`CkptError::Truncated`] at end of input, [`CkptError::BadValue`]
+    /// on overflow.
+    pub fn usize(&mut self) -> Result<usize, CkptError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| CkptError::BadValue(format!("length {v} overflows usize")))
+    }
+
+    /// Reads an `f64` by bit pattern.
+    ///
+    /// # Errors
+    /// [`CkptError::Truncated`] at end of input.
+    pub fn f64(&mut self) -> Result<f64, CkptError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `bool` written by [`Enc::bool`].
+    ///
+    /// # Errors
+    /// [`CkptError::Truncated`] at end of input, [`CkptError::BadValue`]
+    /// on a byte that is neither 0 nor 1.
+    pub fn bool(&mut self) -> Result<bool, CkptError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CkptError::BadValue(format!("bool byte {other}"))),
+        }
+    }
+
+    /// Reads a length-prefixed `f64` slice written by [`Enc::f64s`].
+    ///
+    /// # Errors
+    /// [`CkptError::Truncated`] when the declared length exceeds the
+    /// remaining input (checked *before* allocating, so a corrupt length
+    /// cannot trigger an OOM).
+    pub fn f64s(&mut self) -> Result<Vec<f64>, CkptError> {
+        let n = self.usize()?;
+        let needed = n.checked_mul(8).ok_or_else(|| {
+            CkptError::BadValue(format!("f64 slice length {n} overflows byte count"))
+        })?;
+        if self.remaining() < needed {
+            return Err(CkptError::Truncated { needed, have: self.remaining() });
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed byte slice written by [`Enc::bytes`].
+    ///
+    /// # Errors
+    /// [`CkptError::Truncated`] when the declared length exceeds the
+    /// remaining input.
+    pub fn byte_vec(&mut self) -> Result<Vec<u8>, CkptError> {
+        let n = self.usize()?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string written by [`Enc::str`].
+    ///
+    /// # Errors
+    /// Truncation as [`CkptError::Truncated`]; invalid UTF-8 as
+    /// [`CkptError::BadValue`].
+    pub fn str(&mut self) -> Result<String, CkptError> {
+        let bytes = self.byte_vec()?;
+        String::from_utf8(bytes).map_err(|_| CkptError::BadValue("non-UTF-8 string".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload() -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u64(0xDEAD_BEEF_CAFE_F00D);
+        e.f64(-0.1);
+        e.f64(f64::NAN);
+        e.bool(true);
+        e.f64s(&[1.5, -2.5, 1e-300]);
+        e.str("hello");
+        e.bytes(&[1, 2, 3]);
+        e.finish()
+    }
+
+    #[test]
+    fn enc_dec_roundtrip_is_exact() {
+        let bytes = payload();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u64().unwrap(), 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(d.f64().unwrap().to_bits(), (-0.1f64).to_bits());
+        assert!(d.f64().unwrap().is_nan());
+        assert!(d.bool().unwrap());
+        assert_eq!(d.f64s().unwrap(), vec![1.5, -2.5, 1e-300]);
+        assert_eq!(d.str().unwrap(), "hello");
+        assert_eq!(d.byte_vec().unwrap(), vec![1, 2, 3]);
+        d.expect_end().unwrap();
+    }
+
+    #[test]
+    fn file_frame_roundtrip() {
+        let image = encode_file("test", &payload());
+        let back = decode_file(&image, "test").unwrap();
+        assert_eq!(back, payload());
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error_never_a_panic() {
+        let image = encode_file("test", &payload());
+        for cut in 0..image.len() {
+            let err = decode_file(&image[..cut], "test").unwrap_err();
+            assert!(
+                matches!(err, CkptError::Truncated { .. } | CkptError::BadMagic),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let image = encode_file("test", &payload());
+        for byte in 0..image.len() {
+            let mut bad = image.clone();
+            bad[byte] ^= 0x40;
+            // Any typed error is fine; decoding successfully is not.
+            if let Ok(p) = decode_file(&bad, "test") {
+                panic!("flip at byte {byte} went undetected ({} bytes ok)", p.len());
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_kind_and_version_are_typed() {
+        let image = encode_file("learner", b"x");
+        assert!(matches!(decode_file(&image, "fleet"), Err(CkptError::WrongKind { .. })));
+        let mut future = image.clone();
+        future[4] = 0xFF; // version LSB
+        assert!(matches!(decode_file(&future, "learner"), Err(CkptError::UnsupportedVersion(_))));
+        let mut junk = image;
+        junk[0] = b'X';
+        assert!(matches!(decode_file(&junk, "learner"), Err(CkptError::BadMagic)));
+    }
+
+    #[test]
+    fn atomic_write_then_read() {
+        let dir = std::env::temp_dir().join(format!("edgebol-ckpt-test-{}", std::process::id()));
+        let path = dir.join("nested").join("slice-0.ckpt");
+        write_atomic(&path, "test", &payload()).unwrap();
+        assert_eq!(read(&path, "test").unwrap(), payload());
+        // Overwrite is atomic too: the temp file never lingers.
+        write_atomic(&path, "test", b"v2").unwrap();
+        assert_eq!(read(&path, "test").unwrap(), b"v2");
+        let entries: Vec<_> = fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(entries, vec!["slice-0.ckpt"], "no temp litter: {entries:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read(Path::new("/nonexistent/edgebol.ckpt"), "test").unwrap_err();
+        assert!(matches!(err, CkptError::Io(_)), "{err}");
+        assert!(err.to_string().contains("checkpoint io"));
+    }
+
+    #[test]
+    fn crc_matches_known_vector() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn bad_length_prefix_cannot_allocate_unbounded() {
+        let mut e = Enc::new();
+        e.u64(u64::MAX); // hostile length prefix
+        let bytes = e.finish();
+        let mut d = Dec::new(&bytes);
+        assert!(d.f64s().is_err());
+        let mut d = Dec::new(&bytes);
+        assert!(d.byte_vec().is_err());
+    }
+}

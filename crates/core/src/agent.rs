@@ -39,6 +39,25 @@ pub trait Agent: Send {
         None
     }
 
+    /// Serializes the agent's learned state at a period boundary for
+    /// checkpointing. `None` when the agent does not support snapshots
+    /// (the parametric baselines) — the orchestrator then omits the
+    /// agent from checkpoints and a restored run re-learns cold.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state saved by [`Agent::save_state`] onto an
+    /// identically-configured fresh agent.
+    ///
+    /// # Errors
+    /// A typed [`edgebol_ckpt::CkptError`] on malformed payloads or when
+    /// the agent does not support snapshots (the default); the agent is
+    /// left unchanged on error.
+    fn load_state(&mut self, _bytes: &[u8]) -> Result<(), edgebol_ckpt::CkptError> {
+        Err(edgebol_ckpt::CkptError::BadValue("agent does not support checkpoint restore".into()))
+    }
+
     /// Display name.
     fn name(&self) -> &'static str;
 }
@@ -166,6 +185,21 @@ impl Agent for EdgeBolAgent {
 
     fn export_experience(&self) -> Option<Vec<(Vec<f64>, [f64; 3])>> {
         Some(self.inner.export_experience())
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(self.inner.save_state())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), edgebol_ckpt::CkptError> {
+        self.inner.restore_state(bytes)?;
+        // The spec's constraint fields shadow the learner's; re-sync them
+        // so `spec.cost` and the learner agree after a mid-run
+        // `set_constraints` survived the checkpoint.
+        self.spec.d_max = self.inner.constraints.d_max;
+        self.spec.rho_min = self.inner.constraints.rho_min;
+        self.last = None;
+        Ok(())
     }
 
     fn name(&self) -> &'static str {

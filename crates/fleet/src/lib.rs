@@ -36,15 +36,20 @@
 #![deny(missing_docs)]
 
 use edgebol_bench::{median, parallel_map_threads};
+use edgebol_ckpt::{CkptError, Dec, Enc};
 use edgebol_core::agent::EdgeBolAgent;
 use edgebol_core::problem::ProblemSpec;
 use edgebol_core::trace::Trace;
-use edgebol_core::Orchestrator;
+use edgebol_core::{Orchestrator, OrchestratorError};
 use edgebol_metrics::{Counter, Gauge, Registry};
-use edgebol_oran::{ChaosConfig, TransportKind};
+use edgebol_oran::{ChaosConfig, CircuitState, HealthHandle, TransportKind};
 use edgebol_testbed::{Calibration, Environment, FlowTestbed, Scenario};
 use edgebol_trace::{Journal, Layer};
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
+
+/// Checkpoint kind tag for per-slice fleet snapshots.
+const SLICE_CKPT_KIND: &str = "edgebol-fleet-slice";
 
 /// Donor experience in physical units, as exported by
 /// [`edgebol_core::agent::Agent::export_experience`].
@@ -100,6 +105,25 @@ pub struct FleetConfig {
     /// `EDGEBOL_THREADS` knob / available parallelism. The report is
     /// byte-identical at any setting.
     pub threads: Option<usize>,
+    /// Directory for per-slice checkpoint files (`slice-<id>.ckpt`,
+    /// written atomically via `edgebol_ckpt::write_atomic`); `None`
+    /// disables checkpointing. The soak/bench drivers fill it from
+    /// `EDGEBOL_CKPT_DIR`.
+    pub ckpt_dir: Option<PathBuf>,
+    /// Checkpoint cadence: every running slice is snapshotted after
+    /// each `ckpt_every`-th lockstep period. `0` disables the cadence
+    /// even when a directory is set.
+    pub ckpt_every: usize,
+    /// Crash-injection schedule: `(slice, period)` pairs. At the start
+    /// of that lockstep period the slice's control plane is destroyed
+    /// without warning (no export, no drain) and immediately restarted
+    /// from its latest checkpoint — or cold, counted, when no
+    /// checkpoint survives decode.
+    pub kill_schedule: Vec<(u64, usize)>,
+    /// Chaos plan cloned into every slice's control plane (the soak
+    /// harness drives healing link cuts through it). Disabled by
+    /// default, which preserves the historical fault-free behaviour.
+    pub chaos: ChaosConfig,
 }
 
 impl FleetConfig {
@@ -121,6 +145,10 @@ impl FleetConfig {
             rho_min: 0.5,
             seed: 7,
             threads: None,
+            ckpt_dir: None,
+            ckpt_every: 8,
+            kill_schedule: Vec::new(),
+            chaos: ChaosConfig::disabled(),
         }
     }
 
@@ -240,6 +268,17 @@ pub struct FleetReport {
     pub transfer_out_of_range: u64,
     /// Slices whose control plane died mid-run (retired early).
     pub failed: u64,
+    /// Runners destroyed by the crash-injection schedule.
+    pub kills: u64,
+    /// Killed slices successfully resumed from a checkpoint (the
+    /// learner kept its GP posterior — no cold warm-up paid).
+    pub restores: u64,
+    /// Killed slices that had to restart cold: no checkpoint on disk,
+    /// or the file failed decode (truncated / corrupt / wrong kind).
+    pub cold_restores: u64,
+    /// Per-slice checkpoint files written (not in [`FleetReport::summary`]:
+    /// an I/O failure must not perturb the deterministic summary bytes).
+    pub checkpoints: u64,
 }
 
 impl FleetReport {
@@ -290,7 +329,8 @@ impl FleetReport {
         format!(
             "slices={} cells={} lockstep_periods={} slice_periods={} \
              warm={} cold={} rejected={} retries={} forced={} \
-             out_of_range={} failed={} aggregate_j={:.3} mean_cost={:.3} \
+             out_of_range={} failed={} kills={} restores={} cold_restores={} \
+             aggregate_j={:.3} mean_cost={:.3} \
              satisfaction={:.4} late_median_convergence={}",
             self.slices.len(),
             self.cells,
@@ -303,6 +343,9 @@ impl FleetReport {
             self.admission_forced,
             self.transfer_out_of_range,
             self.failed,
+            self.kills,
+            self.restores,
+            self.cold_restores,
             self.aggregate_j,
             self.mean_cost(),
             self.mean_satisfaction(),
@@ -324,6 +367,10 @@ struct FleetMetrics {
     retries: Counter,
     forced: Counter,
     out_of_range: Counter,
+    kills: Counter,
+    restores: Counter,
+    cold_restores: Counter,
+    checkpoints: Counter,
     aggregate_j: Gauge,
     cell_load: Vec<Gauge>,
 }
@@ -348,6 +395,19 @@ impl FleetMetrics {
             "edgebol_fleet_transfer_out_of_range_total",
             "Warm-eligible spawns degraded to cold: nearest donor out of range",
         );
+        reg.describe(
+            "edgebol_fleet_kills_total",
+            "Runners destroyed by the crash-injection schedule",
+        );
+        reg.describe(
+            "edgebol_fleet_restores_total",
+            "Killed slices resumed from a checkpoint with their posterior intact",
+        );
+        reg.describe(
+            "edgebol_fleet_cold_restores_total",
+            "Killed slices restarted cold: checkpoint missing or failed decode",
+        );
+        reg.describe("edgebol_fleet_checkpoints_total", "Per-slice checkpoint files written");
         reg.describe("edgebol_fleet_aggregate_j", "Running sum of every slice-period's cost");
         reg.describe("edgebol_fleet_gpu_load", "Admitted demand units per cell");
         FleetMetrics {
@@ -361,6 +421,10 @@ impl FleetMetrics {
             retries: reg.counter("edgebol_fleet_admission_retries_total"),
             forced: reg.counter("edgebol_fleet_admission_forced_total"),
             out_of_range: reg.counter("edgebol_fleet_transfer_out_of_range_total"),
+            kills: reg.counter("edgebol_fleet_kills_total"),
+            restores: reg.counter("edgebol_fleet_restores_total"),
+            cold_restores: reg.counter("edgebol_fleet_cold_restores_total"),
+            checkpoints: reg.counter("edgebol_fleet_checkpoints_total"),
             aggregate_j: reg.gauge("edgebol_fleet_aggregate_j"),
             cell_load: (0..cells)
                 .map(|c| reg.gauge_with("edgebol_fleet_gpu_load", &[("cell", &c.to_string())]))
@@ -374,6 +438,7 @@ pub struct Fleet {
     cfg: FleetConfig,
     metrics: Registry,
     journal: Option<Arc<Journal>>,
+    health: Option<HealthHandle>,
 }
 
 impl Fleet {
@@ -396,7 +461,7 @@ impl Fleet {
         assert!(cfg.cells > 0, "a fleet needs at least one cell");
         assert!(cfg.periods > 0, "slices must live at least one period");
         assert!(cfg.gpu_capacity > 0.0 && cfg.overcommit >= 1.0, "admission budget must be real");
-        Fleet { cfg, metrics: Registry::disabled(), journal: None }
+        Fleet { cfg, metrics: Registry::disabled(), journal: None, health: None }
     }
 
     /// Records fleet gauges and counters into `reg` (share it with
@@ -409,6 +474,15 @@ impl Fleet {
     /// Streams slice lifecycle events (layer `fleet`) into `journal`.
     pub fn with_journal(mut self, journal: Arc<Journal>) -> Self {
         self.journal = Some(journal);
+        self
+    }
+
+    /// Mirrors kill/restore health onto `health` (share it with the
+    /// ops surface so `/healthz` dips while a killed slice is down and
+    /// recovers when the restored runner re-registers its circuit
+    /// state).
+    pub fn with_health(mut self, health: HealthHandle) -> Self {
+        self.health = Some(health);
         self
     }
 
@@ -473,6 +547,10 @@ impl Fleet {
             admission_forced: 0,
             transfer_out_of_range: 0,
             failed: 0,
+            kills: 0,
+            restores: 0,
+            cold_restores: 0,
+            checkpoints: 0,
         };
         let threads = cfg
             .threads
@@ -481,6 +559,7 @@ impl Fleet {
             .unwrap_or(1);
 
         let mut t = 0usize;
+        let mut restored_any = false;
         loop {
             let all_retired = slots.iter().all(|s| s.phase == SlicePhase::Retired);
             if all_retired {
@@ -491,6 +570,59 @@ impl Fleet {
                 "fleet driver did not converge: {} slices still pending at period {t}",
                 slots.iter().filter(|s| s.phase != SlicePhase::Retired).count()
             );
+
+            // Crash-injection pass (driver thread, schedule order):
+            // destroy each scheduled runner before the period steps,
+            // then restart it from the latest checkpoint.
+            for (kid, at) in cfg.kill_schedule.iter().copied() {
+                if at != t {
+                    continue;
+                }
+                let Some(i) = slots.iter().position(|s| s.id == kid) else { continue };
+                if slots[i].phase != SlicePhase::Running {
+                    continue;
+                }
+                // The simulated crash: the runner is dropped on the
+                // floor — no experience export, no state drain.
+                drop(slots[i].runner.take());
+                report.kills += 1;
+                fm.kills.inc();
+                if let Some(h) = &self.health {
+                    h.set(CircuitState::Open { probe_at: 0 });
+                }
+                self.journal_event("slice_killed", t, vec![("slice", kid.to_string())]);
+                restored_any = true;
+                let started = std::time::Instant::now();
+                match Self::try_restore(&cfg, &mut slots[i]) {
+                    Ok(resume_at) => {
+                        report.restores += 1;
+                        fm.restores.inc();
+                        if let (Some(h), Some(r)) = (&self.health, &slots[i].runner) {
+                            h.set(r.lock().unwrap_or_else(|e| e.into_inner()).circuit_state());
+                        }
+                        self.journal_event(
+                            "slice_restored",
+                            t,
+                            vec![
+                                ("slice", kid.to_string()),
+                                ("ckpt_period", resume_at.to_string()),
+                                ("resumed_completed", slots[i].completed.to_string()),
+                                ("restore_us", started.elapsed().as_micros().to_string()),
+                            ],
+                        );
+                    }
+                    Err(e) => {
+                        self.journal_event(
+                            "slice_restore_failed",
+                            t,
+                            vec![("slice", kid.to_string()), ("error", e.to_string())],
+                        );
+                        report.cold_restores += 1;
+                        fm.cold_restores.inc();
+                        self.cold_restart(&cfg, &mut slots[i], t, &mut report, &fm, &mut cell_load);
+                    }
+                }
+            }
 
             // Admission pass (driver thread, id order — deterministic).
             for i in 0..slots.len() {
@@ -591,13 +723,51 @@ impl Fleet {
                             t,
                             vec![("slice", slots[i].id.to_string()), ("error", e.to_string())],
                         );
+                        self.dump_slice_flight(&slots[i], &e);
                         self.retire(&mut slots[i], t, true, &mut report, &fm);
                         cell_load[slots[i].cell] -= slots[i].demand;
                     }
                 }
             }
             fm.aggregate_j.set(report.aggregate_j);
+
+            // Checkpoint pass: snapshot every running slice after each
+            // ckpt_every-th period, atomically (temp file + rename), so
+            // a kill at any instant finds either the old or the new
+            // checkpoint — never a torn one.
+            if let Some(dir) = &cfg.ckpt_dir {
+                if cfg.ckpt_every > 0 && (t + 1).is_multiple_of(cfg.ckpt_every) {
+                    for slot in slots.iter().filter(|s| s.phase == SlicePhase::Running) {
+                        match Self::checkpoint_slice(dir, slot, t) {
+                            Ok(()) => {
+                                report.checkpoints += 1;
+                                fm.checkpoints.inc();
+                            }
+                            Err(e) => {
+                                // A failed write must not kill the fleet
+                                // (or perturb the deterministic summary):
+                                // the slice just keeps its older file.
+                                self.journal_event(
+                                    "ckpt_failed",
+                                    t,
+                                    vec![("slice", slot.id.to_string()), ("error", e.to_string())],
+                                );
+                            }
+                        }
+                    }
+                }
+            }
             t += 1;
+        }
+        // Restores re-run periods the pre-kill pass already counted, so
+        // the streaming aggregates double-count. Recompute them from the
+        // (truncated) traces — but only when a restore happened, keeping
+        // uninterrupted runs bit-identical to the historical accumulation
+        // order.
+        if restored_any {
+            report.aggregate_j = slots.iter().map(|s| s.trace.costs().iter().sum::<f64>()).sum();
+            report.slice_periods = slots.iter().map(|s| s.trace.records.len()).sum();
+            fm.aggregate_j.set(report.aggregate_j);
         }
         report.total_periods = t;
         fm.running.set(0.0);
@@ -627,9 +797,7 @@ impl Fleet {
         fm: &FleetMetrics,
     ) {
         let id = slots[i].id;
-        let env_seed = cfg.seed.wrapping_add(id.wrapping_mul(0x9E37_79B9));
-        let mut env = FlowTestbed::new(Calibration::fast(), Scenario::fleet_slice(id), env_seed);
-        let unit_ctx = env.observe_context().to_unit();
+        let (env, mut agent, spec, unit_ctx) = Self::fresh_parts(cfg, id);
 
         // Donor selection: nearest eligible slice in unit context space,
         // accepted only within the transfer radius.
@@ -667,8 +835,6 @@ impl Fleet {
             None => (None, None),
         };
 
-        let spec = ProblemSpec::new(1.0, 8.0, cfg.d_max, cfg.rho_min);
-        let mut agent = EdgeBolAgent::quick_for_tests(&spec, env_seed.wrapping_add(1));
         let warm = match &experience {
             Some(exp) if !exp.is_empty() => {
                 let cap = exp.len().saturating_sub(cfg.transfer_cap);
@@ -687,7 +853,7 @@ impl Fleet {
             Box::new(env),
             Box::new(agent),
             spec,
-            ChaosConfig::disabled(),
+            cfg.chaos.clone(),
             Registry::disabled(),
             TransportKind::Poll,
         ) {
@@ -737,6 +903,193 @@ impl Fleet {
                     t,
                     vec![("slice", id.to_string()), ("error", e.to_string())],
                 );
+            }
+        }
+    }
+
+    /// Builds the deterministic per-slice parts every construction path
+    /// shares: environment, cold agent, problem spec and unit context.
+    /// Spawn, checkpoint restore and cold restart all come through
+    /// here, so a restored slice is built from exactly the seeds its
+    /// original spawn used (restore then overwrites the RNG streams
+    /// from the snapshot).
+    fn fresh_parts(
+        cfg: &FleetConfig,
+        id: u64,
+    ) -> (FlowTestbed, EdgeBolAgent, ProblemSpec, [f64; 3]) {
+        let env_seed = cfg.seed.wrapping_add(id.wrapping_mul(0x9E37_79B9));
+        let mut env = FlowTestbed::new(Calibration::fast(), Scenario::fleet_slice(id), env_seed);
+        let unit_ctx = env.observe_context().to_unit();
+        let spec = ProblemSpec::new(1.0, 8.0, cfg.d_max, cfg.rho_min);
+        let agent = EdgeBolAgent::quick_for_tests(&spec, env_seed.wrapping_add(1));
+        (env, agent, spec, unit_ctx)
+    }
+
+    /// Writes one slice's checkpoint: driver-side lifecycle meta plus
+    /// the orchestrator's full snapshot (learner, supervisor, env),
+    /// framed and CRC'd by `edgebol_ckpt`, atomically replacing any
+    /// previous file.
+    fn checkpoint_slice(dir: &Path, slot: &SliceSlot, t: usize) -> Result<(), CkptError> {
+        let orch_bytes = slot
+            .runner
+            .as_ref()
+            .expect("running slice has a runner")
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .save_state();
+        let mut e = Enc::new();
+        e.u64(slot.id);
+        e.usize(t + 1); // first lockstep period a restore will re-run
+        e.usize(slot.completed);
+        e.usize(slot.spawned_at);
+        e.bool(slot.warm);
+        e.bool(slot.donor.is_some());
+        e.u64(slot.donor.unwrap_or(0));
+        e.bytes(&orch_bytes);
+        edgebol_ckpt::write_atomic(
+            &dir.join(format!("slice-{}.ckpt", slot.id)),
+            SLICE_CKPT_KIND,
+            &e.finish(),
+        )
+    }
+
+    /// Restores a killed slice from `ckpt_dir/slice-<id>.ckpt`. On
+    /// success the slot's runner resumes bit-identically from the
+    /// checkpointed period (its trace is truncated back to the
+    /// checkpointed progress, so re-run periods are not double-kept)
+    /// and the lockstep period the restore re-runs from is returned.
+    /// Every failure — no directory, missing file, torn or corrupt
+    /// frame, wrong slice — is a typed [`CkptError`] the caller turns
+    /// into a counted cold restart, never a panic.
+    fn try_restore(cfg: &FleetConfig, slot: &mut SliceSlot) -> Result<usize, CkptError> {
+        let dir = cfg
+            .ckpt_dir
+            .as_ref()
+            .ok_or_else(|| CkptError::BadValue("no checkpoint directory configured".into()))?;
+        let payload =
+            edgebol_ckpt::read(&dir.join(format!("slice-{}.ckpt", slot.id)), SLICE_CKPT_KIND)?;
+        let mut d = Dec::new(&payload);
+        let id = d.u64()?;
+        if id != slot.id {
+            return Err(CkptError::BadValue(format!(
+                "checkpoint is for slice {id}, expected {}",
+                slot.id
+            )));
+        }
+        let resume_at = d.usize()?;
+        let completed = d.usize()?;
+        if completed > slot.trace.records.len() {
+            return Err(CkptError::BadValue(format!(
+                "checkpoint claims {completed} completed periods, trace has {}",
+                slot.trace.records.len()
+            )));
+        }
+        let spawned_at = d.usize()?;
+        let warm = d.bool()?;
+        let has_donor = d.bool()?;
+        let donor_raw = d.u64()?;
+        let orch_bytes = d.byte_vec()?;
+        d.expect_end()?;
+
+        let (env, agent, spec, unit_ctx) = Self::fresh_parts(cfg, slot.id);
+        let mut orch = Orchestrator::new_with_transport(
+            Box::new(env),
+            Box::new(agent),
+            spec,
+            cfg.chaos.clone(),
+            Registry::disabled(),
+            TransportKind::Poll,
+        )
+        .map_err(|e| CkptError::BadValue(format!("control plane rebuild failed: {e}")))?;
+        orch.restore_state(&orch_bytes)?;
+
+        slot.runner = Some(Mutex::new(orch));
+        slot.trace.records.truncate(completed);
+        slot.completed = completed;
+        slot.spawned_at = spawned_at;
+        slot.warm = warm;
+        slot.donor = has_donor.then_some(donor_raw);
+        slot.unit_ctx = unit_ctx;
+        slot.phase = SlicePhase::Running;
+        Ok(resume_at)
+    }
+
+    /// Cold-restart fallback when a killed slice has no usable
+    /// checkpoint: the slice keeps its admission slot but restarts its
+    /// whole lifetime — fresh environment, fresh (cold) learner, empty
+    /// trace. Only when even the rebuild fails does the slice retire as
+    /// failed and release its GPU share.
+    fn cold_restart(
+        &self,
+        cfg: &FleetConfig,
+        slot: &mut SliceSlot,
+        t: usize,
+        report: &mut FleetReport,
+        fm: &FleetMetrics,
+        cell_load: &mut [f64],
+    ) {
+        let (env, agent, spec, unit_ctx) = Self::fresh_parts(cfg, slot.id);
+        match Orchestrator::new_with_transport(
+            Box::new(env),
+            Box::new(agent),
+            spec,
+            cfg.chaos.clone(),
+            Registry::disabled(),
+            TransportKind::Poll,
+        ) {
+            Ok(orch) => {
+                slot.runner = Some(Mutex::new(orch));
+                slot.trace = Trace::default();
+                slot.completed = 0;
+                slot.spawned_at = t;
+                slot.warm = false;
+                slot.donor = None;
+                slot.unit_ctx = unit_ctx;
+                slot.phase = SlicePhase::Running;
+                if let Some(h) = &self.health {
+                    h.set(CircuitState::Connected);
+                }
+                self.journal_event("slice_cold_restarted", t, vec![("slice", slot.id.to_string())]);
+            }
+            Err(e) => {
+                self.journal_event(
+                    "slice_failed",
+                    t,
+                    vec![("slice", slot.id.to_string()), ("error", e.to_string())],
+                );
+                self.retire(slot, t, true, report, fm);
+                cell_load[slot.cell] -= slot.demand;
+            }
+        }
+    }
+
+    /// A slice whose control plane dies mid-fleet dumps the same JSON
+    /// incident file the single-run driver's flight recorder writes
+    /// (same retention, same meta shape via
+    /// [`edgebol_bench::flight_meta`]), tagged with the slice id, when
+    /// `EDGEBOL_FLIGHT_DIR` is set.
+    fn dump_slice_flight(&self, slot: &SliceSlot, e: &OrchestratorError) {
+        let Some(dir) = edgebol_bench::env::flight_dir() else { return };
+        let mut meta = match &slot.runner {
+            Some(r) => edgebol_bench::flight_meta(&r.lock().unwrap_or_else(|p| p.into_inner()), e),
+            None => vec![("error", e.to_string()), ("stage", e.stage().to_string())],
+        };
+        meta.push(("slice", slot.id.to_string()));
+        let journal = self.journal.as_ref().unwrap_or_else(|| edgebol_bench::journal());
+        match edgebol_trace::dump_flight_record(
+            &dir,
+            e.stage(),
+            edgebol_bench::FLIGHT_KEEP_PERIODS,
+            journal,
+            &meta,
+        ) {
+            Ok(path) => eprintln!(
+                "[edgebol-fleet] flight record for slice {} written to {}",
+                slot.id,
+                path.display()
+            ),
+            Err(io) => {
+                eprintln!("[edgebol-fleet] flight record for slice {} failed: {io}", slot.id)
             }
         }
     }

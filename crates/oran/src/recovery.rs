@@ -335,6 +335,74 @@ impl Supervisor {
         self.watchdog_trips
     }
 
+    /// Serializes the circuit's evolving state (state machine, lost
+    /// link, epoch, watchdog and reconnect counters) for checkpointing.
+    /// The policy and metric handles are construction-time configuration
+    /// and are not serialized.
+    pub fn export_state(&self) -> Vec<u8> {
+        let mut e = edgebol_ckpt::Enc::new();
+        match self.state {
+            CircuitState::Connected => e.u8(0),
+            CircuitState::Backoff { attempt, retry_at } => {
+                e.u8(1);
+                e.u32(attempt);
+                e.u64(retry_at);
+            }
+            CircuitState::Open { probe_at } => {
+                e.u8(2);
+                e.u64(probe_at);
+            }
+        }
+        e.u8(match self.lost_link {
+            LinkId::A1 => 0,
+            LinkId::E2 => 1,
+        });
+        e.u64(self.epoch);
+        e.u64(self.kpi_silent);
+        e.u64(self.reconnects_ok);
+        e.u64(self.reconnects_failed);
+        e.u64(self.watchdog_trips);
+        e.finish()
+    }
+
+    /// Restores state exported by [`Self::export_state`] onto a
+    /// supervisor running the same policy, and re-publishes the
+    /// circuit-state gauge so `/metrics` tells the truth immediately.
+    ///
+    /// # Errors
+    /// A typed [`edgebol_ckpt::CkptError`] on malformed payloads; the
+    /// supervisor is left unchanged on error.
+    pub fn import_state(&mut self, bytes: &[u8]) -> Result<(), edgebol_ckpt::CkptError> {
+        use edgebol_ckpt::{CkptError, Dec};
+        let mut d = Dec::new(bytes);
+        let state = match d.u8()? {
+            0 => CircuitState::Connected,
+            1 => CircuitState::Backoff { attempt: d.u32()?, retry_at: d.u64()? },
+            2 => CircuitState::Open { probe_at: d.u64()? },
+            other => return Err(CkptError::BadValue(format!("circuit state tag {other}"))),
+        };
+        let lost_link = match d.u8()? {
+            0 => LinkId::A1,
+            1 => LinkId::E2,
+            other => return Err(CkptError::BadValue(format!("link tag {other}"))),
+        };
+        let epoch = d.u64()?;
+        let kpi_silent = d.u64()?;
+        let reconnects_ok = d.u64()?;
+        let reconnects_failed = d.u64()?;
+        let watchdog_trips = d.u64()?;
+        d.expect_end()?;
+        self.state = state;
+        self.lost_link = lost_link;
+        self.epoch = epoch;
+        self.kpi_silent = kpi_silent;
+        self.reconnects_ok = reconnects_ok;
+        self.reconnects_failed = reconnects_failed;
+        self.watchdog_trips = watchdog_trips;
+        self.m_state.set(state.gauge_value());
+        Ok(())
+    }
+
     /// Decides this period's action. Pure with respect to the clock —
     /// the same `(state, period)` always yields the same action; the
     /// only side effect is the circuit-state gauge (3 while a half-open
@@ -513,6 +581,29 @@ mod tests {
         assert_eq!(p.backoff(200), 8, "huge attempts stay capped");
         let zero = RecoveryPolicy { backoff_base: 0, ..RecoveryPolicy::default() };
         assert_eq!(zero.backoff(0), 1, "never waits zero periods");
+    }
+
+    #[test]
+    fn export_import_resumes_mid_outage() {
+        let mut live = Supervisor::new(RecoveryPolicy::default());
+        live.on_connection_lost(LinkId::E2, 10);
+        assert_eq!(live.poll(11), RecoveryAction::Probe { attempt: 0, half_open: false });
+        live.on_resync_failed(11);
+        let snapshot = live.export_state();
+        let mut restored = Supervisor::new(RecoveryPolicy::default());
+        restored.import_state(&snapshot).unwrap();
+        assert_eq!(restored.state(), live.state());
+        assert_eq!(restored.reconnects_failed(), 1);
+        // Both walk the identical backoff ladder from here.
+        for t in 12..30 {
+            assert_eq!(live.poll(t), restored.poll(t), "t={t}");
+        }
+        // Corrupt payloads are typed errors, not panics, and leave the
+        // supervisor unchanged.
+        let before = restored.state();
+        assert!(restored.import_state(&snapshot[..snapshot.len() - 3]).is_err());
+        assert!(restored.import_state(&[9u8]).is_err());
+        assert_eq!(restored.state(), before);
     }
 
     #[test]

@@ -309,6 +309,38 @@ impl Environment for FlowTestbed {
         // A slice cannot run faster than on a dedicated server.
         self.gpu_contention = factor.max(1.0);
     }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        // Taken at a period boundary: `period_snrs` was consumed by the
+        // preceding `step`, so (rng, period, contention) is the entire
+        // evolving state — calibration, scenario, dataset and meter are
+        // immutable and rebuilt from the constructor on restore.
+        let mut e = edgebol_ckpt::Enc::new();
+        for w in self.rng.state() {
+            e.u64(w);
+        }
+        e.usize(self.period);
+        e.f64(self.gpu_contention);
+        Some(e.finish())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), edgebol_ckpt::CkptError> {
+        let mut d = edgebol_ckpt::Dec::new(bytes);
+        let rng_state = [d.u64()?, d.u64()?, d.u64()?, d.u64()?];
+        let period = d.usize()?;
+        let gpu_contention = d.f64()?;
+        if !(gpu_contention.is_finite() && gpu_contention >= 1.0) {
+            return Err(edgebol_ckpt::CkptError::BadValue(format!(
+                "gpu contention {gpu_contention}"
+            )));
+        }
+        d.expect_end()?;
+        self.rng = SmallRng::from_state(rng_state);
+        self.period = period;
+        self.gpu_contention = gpu_contention;
+        self.period_snrs.clear();
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -322,6 +354,39 @@ mod tests {
 
     fn max_ctrl() -> ControlInput {
         ControlInput::max_resources()
+    }
+
+    #[test]
+    fn save_load_resumes_the_kpi_stream_bit_identically() {
+        let mut live = tb(Scenario::single_user(30.0));
+        for _ in 0..5 {
+            live.observe_context();
+            live.step(&max_ctrl());
+        }
+        let snapshot = live.save_state().expect("flow testbed supports snapshots");
+        let mut restored = tb(Scenario::single_user(30.0));
+        restored.load_state(&snapshot).unwrap();
+        assert_eq!(restored.period(), 5);
+        for p in 0..10 {
+            let ca = live.observe_context();
+            let cb = restored.observe_context();
+            assert_eq!(ca.mean_cqi.to_bits(), cb.mean_cqi.to_bits(), "context at {p}");
+            let oa = live.step(&max_ctrl());
+            let ob = restored.step(&max_ctrl());
+            assert_eq!(oa.delay_s.to_bits(), ob.delay_s.to_bits(), "delay at {p}");
+            assert_eq!(oa.server_power_w.to_bits(), ob.server_power_w.to_bits(), "power at {p}");
+            assert_eq!(oa.map.to_bits(), ob.map.to_bits(), "map at {p}");
+        }
+    }
+
+    #[test]
+    fn load_state_rejects_garbage_with_typed_error() {
+        let mut t = tb(Scenario::single_user(30.0));
+        assert!(t.load_state(&[1, 2, 3]).is_err(), "truncated payload must fail");
+        let mut bad = t.save_state().unwrap();
+        bad.truncate(bad.len() - 1);
+        assert!(t.load_state(&bad).is_err());
+        assert_eq!(t.period(), 0, "failed load must not mutate the testbed");
     }
 
     #[test]

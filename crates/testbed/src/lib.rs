@@ -69,4 +69,25 @@ pub trait Environment: Send {
     /// every existing single-slice environment keeps its behaviour
     /// bit-exactly.
     fn set_gpu_contention(&mut self, _factor: f64) {}
+
+    /// Serializes the environment's evolving state (RNG streams, period
+    /// counter) at a period boundary for checkpointing. `None` when the
+    /// environment does not support snapshots — the orchestrator then
+    /// omits it from checkpoints and a restored run re-creates the
+    /// environment cold.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state saved by [`Environment::save_state`] onto an
+    /// identically-constructed environment.
+    ///
+    /// # Errors
+    /// A typed [`edgebol_ckpt::CkptError`] on malformed payloads or when the
+    /// environment does not support snapshots (the default).
+    fn load_state(&mut self, _bytes: &[u8]) -> Result<(), edgebol_ckpt::CkptError> {
+        Err(edgebol_ckpt::CkptError::BadValue(
+            "environment does not support checkpoint restore".into(),
+        ))
+    }
 }

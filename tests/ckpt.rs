@@ -1,0 +1,203 @@
+//! Crash-consistent checkpoint/restore integration tests: a fleet
+//! whose slices are killed mid-run and restarted from their latest
+//! snapshot must produce bit-identical per-slice outcomes to the
+//! uninterrupted run, and every restore failure must degrade to a
+//! counted cold start — never a panic, never silent corruption.
+//!
+//! `EDGEBOL_CHAOS_SEED` varies the fleet seed, so CI's stress loop
+//! replays these invariants across 10 seeds.
+
+use edgebol_fleet::{Fleet, FleetConfig};
+use edgebol_metrics::Registry;
+use edgebol_oran::HealthHandle;
+use edgebol_trace::Journal;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// The stress-loop seed: CI replays the suite with
+/// `EDGEBOL_CHAOS_SEED=0..9`; locally the default matches the fleet
+/// quick config.
+fn chaos_seed() -> u64 {
+    std::env::var("EDGEBOL_CHAOS_SEED").ok().and_then(|v| v.trim().parse().ok()).unwrap_or(7)
+}
+
+/// A fresh scratch directory for one test's checkpoints.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "edgebol-ckpt-test-{}-{}-{}",
+        name,
+        std::process::id(),
+        chaos_seed()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// An under-capacity, decoupled fleet: contention factor pinned at 1.0
+/// (load never exceeds capacity) and no warm-start transfer, so no
+/// slice's trajectory depends on another slice's progress — the
+/// preconditions for kill/restore bit-identity.
+fn decoupled_cfg(slices: usize) -> FleetConfig {
+    let mut cfg = FleetConfig::quick(slices);
+    cfg.periods = 20;
+    cfg.stagger = 0; // everyone spawns at period 0: first checkpoint covers all
+    cfg.warm_start = false;
+    cfg.seed = chaos_seed();
+    cfg.threads = Some(2);
+    cfg
+}
+
+#[test]
+fn kill_restore_resumes_bit_identically_to_the_uninterrupted_run() {
+    let baseline = Fleet::new(decoupled_cfg(4)).run();
+
+    let dir = scratch("bitident");
+    let mut cfg = decoupled_cfg(4);
+    cfg.ckpt_dir = Some(dir.clone());
+    cfg.ckpt_every = 8; // checkpoints after periods 7, 15, ...
+    cfg.kill_schedule = vec![(1, 10), (2, 12)]; // both past the first boundary
+    let chaotic = Fleet::new(cfg).run();
+
+    assert_eq!(chaotic.kills, 2, "{}", chaotic.summary());
+    assert_eq!(chaotic.restores, 2, "{}", chaotic.summary());
+    assert_eq!(chaotic.cold_restores, 0, "{}", chaotic.summary());
+    assert_eq!(chaotic.failed, 0, "{}", chaotic.summary());
+
+    // Every slice — killed or not — ends with the exact outcome of the
+    // fault-free run: the restore rewound to the snapshot and re-ran
+    // the lost periods through identical state.
+    assert_eq!(baseline.slices.len(), chaotic.slices.len());
+    for (a, b) in baseline.slices.iter().zip(&chaotic.slices) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.spawned_at, b.spawned_at, "slice {}", a.id);
+        assert_eq!(a.periods, b.periods, "slice {}", a.id);
+        assert_eq!(a.convergence_period, b.convergence_period, "slice {}", a.id);
+        assert_eq!(a.mean_cost.to_bits(), b.mean_cost.to_bits(), "slice {}", a.id);
+        assert_eq!(a.early_cost.to_bits(), b.early_cost.to_bits(), "slice {}", a.id);
+        assert_eq!(a.tail_cost.to_bits(), b.tail_cost.to_bits(), "slice {}", a.id);
+        assert_eq!(a.satisfaction.to_bits(), b.satisfaction.to_bits(), "slice {}", a.id);
+    }
+    // Re-run periods are not double-counted in the recomputed totals.
+    assert_eq!(baseline.slice_periods, chaotic.slice_periods);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn three_kill_restore_cycles_survive_with_zero_cold_starts() {
+    let dir = scratch("cycles");
+    let journal = Arc::new(Journal::new());
+    let health = HealthHandle::new();
+    let mut cfg = FleetConfig::quick(6);
+    cfg.periods = 40;
+    cfg.seed = chaos_seed();
+    cfg.ckpt_every = 8;
+    cfg.ckpt_dir = Some(dir.clone());
+    cfg.kill_schedule = vec![(0, 10), (1, 18), (2, 26)];
+    let reg = Registry::new();
+    let report = Fleet::new(cfg)
+        .with_journal(journal.clone())
+        .with_health(health.clone())
+        .with_metrics(reg.clone())
+        .run();
+
+    assert_eq!(report.kills, 3, "{}", report.summary());
+    assert_eq!(report.restores, 3, "{}", report.summary());
+    assert_eq!(report.cold_restores, 0, "{}", report.summary());
+    assert_eq!(report.failed, 0, "{}", report.summary());
+    assert!(report.checkpoints > 0);
+
+    // The restored slices re-registered their circuit state: after the
+    // last restore the shared health handle reports healthy again.
+    assert!(health.is_healthy());
+
+    // Each restore journals the checkpoint period it rewound to and
+    // the restore latency (satellite: slice_restored event).
+    let events = journal.snapshot();
+    let restored: Vec<_> = events.iter().filter(|e| e.kind == "slice_restored").collect();
+    assert_eq!(restored.len(), 3, "journal kinds: {:?}", {
+        let mut ks: Vec<&str> = events.iter().map(|e| e.kind).collect();
+        ks.dedup();
+        ks
+    });
+    for ev in &restored {
+        let keys: Vec<&str> = ev.fields.iter().map(|(k, _)| *k).collect();
+        assert!(keys.contains(&"ckpt_period"), "fields: {:?}", ev.fields);
+        assert!(keys.contains(&"restore_us"), "fields: {:?}", ev.fields);
+    }
+    assert_eq!(events.iter().filter(|e| e.kind == "slice_killed").count(), 3);
+
+    // And the counters are visible on the metrics surface.
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("edgebol_fleet_kills_total"), Some(3));
+    assert_eq!(snap.counter("edgebol_fleet_restores_total"), Some(3));
+    assert_eq!(snap.counter("edgebol_fleet_cold_restores_total"), Some(0));
+    assert_eq!(snap.counter("edgebol_fleet_checkpoints_total"), Some(report.checkpoints));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_checkpoint_degrades_to_a_counted_cold_restart() {
+    let dir = scratch("missing");
+    let mut cfg = decoupled_cfg(2);
+    cfg.ckpt_dir = Some(dir.clone());
+    cfg.ckpt_every = 0; // cadence disabled: the kill finds no file
+    cfg.kill_schedule = vec![(0, 3)];
+    let report = Fleet::new(cfg.clone()).run();
+
+    assert_eq!(report.kills, 1, "{}", report.summary());
+    assert_eq!(report.restores, 0, "{}", report.summary());
+    assert_eq!(report.cold_restores, 1, "{}", report.summary());
+    assert_eq!(report.failed, 0, "{}", report.summary());
+    // The cold-restarted slice still lives a full lifetime.
+    assert!(report.slices.iter().all(|s| s.periods == cfg.periods), "{}", report.summary());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_checkpoint_is_a_typed_cold_start_not_a_panic() {
+    let dir = scratch("corrupt");
+
+    // First run writes real checkpoints.
+    let mut seeder = decoupled_cfg(2);
+    seeder.periods = 8;
+    seeder.ckpt_dir = Some(dir.clone());
+    seeder.ckpt_every = 4;
+    let seeded = Fleet::new(seeder).run();
+    assert!(seeded.checkpoints > 0);
+    let victim = dir.join("slice-0.ckpt");
+    let bytes = std::fs::read(&victim).expect("checkpoint exists");
+
+    // Truncating mid-frame must yield a typed error on restore, which
+    // the fleet turns into a counted cold start.
+    std::fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+    let mut cfg = decoupled_cfg(2);
+    cfg.periods = 8;
+    cfg.ckpt_dir = Some(dir.clone());
+    cfg.ckpt_every = 0; // never overwrite the corrupted file
+    cfg.kill_schedule = vec![(0, 3)];
+    let report = Fleet::new(cfg).run();
+
+    assert_eq!(report.kills, 1, "{}", report.summary());
+    assert_eq!(report.restores, 0, "{}", report.summary());
+    assert_eq!(report.cold_restores, 1, "{}", report.summary());
+    assert_eq!(report.failed, 0, "{}", report.summary());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpointed_run_without_kills_matches_uncheckpointed_run_exactly() {
+    // Writing checkpoints must be a pure observer: the summary of a
+    // checkpointing run is byte-identical to the plain run's.
+    let plain = Fleet::new(decoupled_cfg(3)).run();
+    let dir = scratch("observer");
+    let mut cfg = decoupled_cfg(3);
+    cfg.ckpt_dir = Some(dir.clone());
+    cfg.ckpt_every = 4;
+    let observed = Fleet::new(cfg).run();
+    assert_eq!(plain.summary(), observed.summary());
+    let _ = std::fs::remove_dir_all(&dir);
+}

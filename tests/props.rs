@@ -407,3 +407,89 @@ proptest! {
         prop_assert!(hi >= lo, "delay not monotone: {hi} < {lo}");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Checkpoint corruption fuzz: any truncation or bit flip of a snapshot
+// file must surface as a typed decode error — and at the fleet layer as
+// a counted cold-start fallback — never as a panic or a silently wrong
+// restore. (Smaller case counts where each case runs a whole fleet.)
+
+proptest! {
+    /// Truncating a framed checkpoint at any fuzzed offset is a typed
+    /// decode error, never a panic.
+    #[test]
+    fn checkpoint_truncation_is_always_a_typed_error(
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let bytes = edgebol_ckpt::encode_file("fuzz", &payload);
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        let err = edgebol_ckpt::decode_file(&bytes[..cut], "fuzz")
+            .expect_err("every strict prefix must fail decode");
+        // The error is typed and printable (no panicking Display impl).
+        let _ = err.to_string();
+    }
+
+    /// Flipping any single bit of a framed checkpoint is detected: the
+    /// magic, version, kind or length checks catch structural damage
+    /// and the CRC catches everything else.
+    #[test]
+    fn checkpoint_bit_flips_are_always_detected(
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        byte_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = edgebol_ckpt::encode_file("fuzz", &payload);
+        let idx = ((bytes.len() - 1) as f64 * byte_frac) as usize;
+        bytes[idx] ^= 1 << bit;
+        let err = edgebol_ckpt::decode_file(&bytes, "fuzz")
+            .expect_err("a corrupted frame must fail decode");
+        let _ = err.to_string();
+    }
+}
+
+proptest! {
+    /// A fleet whose slice checkpoint is garbage (CRC-valid frame, junk
+    /// payload — or any mutation of it) restores cold: the decode error
+    /// is swallowed into a counted fallback and the run completes.
+    #[test]
+    fn corrupt_slice_checkpoints_fall_back_to_counted_cold_starts(
+        junk in proptest::collection::vec(any::<u8>(), 0..40),
+        mutate in 0u8..4, // 0: junk payload only; else flip a bit too
+        byte_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "edgebol-props-ckpt-{}-{}",
+            std::process::id(),
+            junk.len()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // A well-framed checkpoint whose payload cannot possibly decode
+        // into a slice snapshot (too short for even the meta header)...
+        edgebol_ckpt::write_atomic(&dir.join("slice-0.ckpt"), "edgebol-fleet-slice", &junk)
+            .expect("scratch write");
+        // ...optionally damaged further at the frame level.
+        if mutate != 0 {
+            let path = dir.join("slice-0.ckpt");
+            let mut bytes = std::fs::read(&path).unwrap();
+            let idx = ((bytes.len() - 1) as f64 * byte_frac) as usize;
+            bytes[idx] ^= 1 << bit;
+            std::fs::write(&path, bytes).unwrap();
+        }
+
+        let mut cfg = edgebol_fleet::FleetConfig::quick(1);
+        cfg.periods = 4;
+        cfg.warm_start = false;
+        cfg.ckpt_dir = Some(dir.clone());
+        cfg.ckpt_every = 0; // keep the corrupted file in place
+        cfg.kill_schedule = vec![(0, 2)];
+        let report = edgebol_fleet::Fleet::new(cfg).run();
+
+        prop_assert_eq!(report.kills, 1);
+        prop_assert_eq!(report.restores, 0);
+        prop_assert_eq!(report.cold_restores, 1, "{}", report.summary());
+        prop_assert_eq!(report.failed, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
